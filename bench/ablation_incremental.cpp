@@ -1,0 +1,53 @@
+/// \file ablation_incremental.cpp
+/// Ablation E10: how much does incremental checkpointing (BiPeriodicCkpt)
+/// buy over PurePeriodicCkpt as a function of ρ (the fraction of memory the
+/// library phase touches)? §IV-C predicts the library-phase checkpoint cost
+/// shrinks to ρ·C while recovery stays at R — so the gain saturates and
+/// never approaches the composite's.
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/time_units.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/protocol_models.hpp"
+
+using namespace abftc;
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const double mtbf_min = args.get_double("mtbf-min", 120.0);
+  const double alpha = args.get_double("alpha", 0.8);
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 200));
+
+  std::cout << "# Ablation: incremental checkpointing benefit vs rho "
+               "(MTBF = " << mtbf_min << " min, alpha = " << alpha << ")\n\n";
+
+  common::Table table({"rho", "Pure", "Bi (model)", "Bi (sim)", "ABFT&",
+                       "Bi gain over Pure", "ABFT& gain over Pure"});
+  for (const double rho : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0}) {
+    auto s = core::figure7_scenario(common::minutes(mtbf_min), alpha);
+    s.ckpt.rho = rho;
+    const auto pure = core::evaluate_pure(s);
+    const auto bi = core::evaluate_bi(s);
+    const auto comp = core::evaluate_composite(s);
+    core::MonteCarloOptions mc;
+    mc.replicates = reps;
+    const auto bi_sim =
+        core::monte_carlo(core::Protocol::BiPeriodicCkpt, s, {}, mc);
+    table.add_row({common::fmt_fixed(rho, 2),
+                   common::fmt_fixed(pure.waste(), 4),
+                   common::fmt_fixed(bi.waste(), 4),
+                   common::fmt_fixed(bi_sim.waste.mean(), 4),
+                   common::fmt_fixed(comp.waste(), 4),
+                   common::fmt_percent(pure.waste() - bi.waste(), 2),
+                   common::fmt_percent(pure.waste() - comp.waste(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: smaller library checkpoints help linearly in rho "
+               "(paper: ~20% cheaper checkpoints 80% of the time), while the "
+               "composite also removes rollbacks and periodic checkpoints "
+               "from the library phase entirely.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+/// \file ablation_parameters.cpp
+/// E13: the companion technical report (ICL-UT-13-03, cited as [24]:
+/// "an exhaustive evaluation of the different parameters independently,
+/// comparing the results as predicted by the models, and the simulation").
+/// Around the Figure 7 operating point (MTBF = 2 h, α = 0.8) each model
+/// parameter is swept one-at-a-time; model and simulated waste are printed
+/// for the three protocols so the sensitivity of every term of Section IV
+/// is visible.
+///
+/// Flags: --reps=150 --mtbf-min=120 --alpha=0.8
+
+#include <functional>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/time_units.hpp"
+#include "core/monte_carlo.hpp"
+
+using namespace abftc;
+
+namespace {
+
+struct Sweep {
+  const char* name;
+  std::vector<double> values;
+  std::function<void(core::ScenarioParams&, double)> apply;
+  std::function<std::string(double)> show;
+};
+
+void run_sweep(const Sweep& sweep, const core::ScenarioParams& base,
+               std::size_t reps) {
+  std::cout << "### sweep: " << sweep.name << "\n";
+  common::Table table({sweep.name, "Pure model", "Pure sim", "Bi model",
+                       "Bi sim", "ABFT& model", "ABFT& sim"});
+  for (const double v : sweep.values) {
+    core::ScenarioParams s = base;
+    sweep.apply(s, v);
+    std::vector<std::string> row{sweep.show(v)};
+    for (const auto p :
+         {core::Protocol::PurePeriodicCkpt, core::Protocol::BiPeriodicCkpt,
+          core::Protocol::AbftPeriodicCkpt}) {
+      const auto m = core::evaluate(p, s);
+      core::MonteCarloOptions mc;
+      mc.replicates = reps;
+      const auto r = core::monte_carlo(p, s, {}, mc);
+      row.push_back(m.diverged ? "1.000" : common::fmt_fixed(m.waste(), 4));
+      row.push_back(r.plan_valid ? common::fmt_fixed(r.waste.mean(), 4)
+                                 : "n/a");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 150));
+  const auto base = core::figure7_scenario(
+      common::minutes(args.get_double("mtbf-min", 120)),
+      args.get_double("alpha", 0.8));
+
+  std::cout << "# Per-parameter sensitivity study around the Figure 7 "
+               "operating point\n# (T0=1w, MTBF=2h, alpha=0.8 unless "
+               "swept)\n\n";
+
+  const auto mins = [](double v) { return common::format_duration(v); };
+  const auto plain = [](double v) { return common::fmt(v, 4); };
+
+  run_sweep({"C (=R) ckpt cost",
+             {common::minutes(1), common::minutes(5), common::minutes(10),
+              common::minutes(20), common::minutes(40)},
+             [](core::ScenarioParams& s, double v) {
+               s.ckpt.full_cost = v;
+               s.ckpt.full_recovery = v;
+             },
+             mins},
+            base, reps);
+
+  run_sweep({"R only (C fixed)",
+             {common::minutes(2), common::minutes(10), common::minutes(30)},
+             [](core::ScenarioParams& s, double v) { s.ckpt.full_recovery = v; },
+             mins},
+            base, reps);
+
+  run_sweep({"D downtime",
+             {0.0, common::minutes(1), common::minutes(5), common::minutes(15)},
+             [](core::ScenarioParams& s, double v) { s.platform.downtime = v; },
+             mins},
+            base, reps);
+
+  run_sweep({"rho (library memory share)",
+             {0.1, 0.4, 0.8, 1.0},
+             [](core::ScenarioParams& s, double v) { s.ckpt.rho = v; },
+             plain},
+            base, reps);
+
+  run_sweep({"phi (ABFT slowdown)",
+             {1.0, 1.03, 1.1, 1.3, 1.6},
+             [](core::ScenarioParams& s, double v) { s.abft.phi = v; },
+             plain},
+            base, reps);
+
+  run_sweep({"Recons_ABFT",
+             {0.0, 2.0, 60.0, common::minutes(10), common::minutes(30)},
+             [](core::ScenarioParams& s, double v) { s.abft.recons = v; },
+             mins},
+            base, reps);
+
+  std::cout
+      << "Reading: C drives both periodic protocols quadratically (via "
+         "P_opt = sqrt(2C(mu-D-R))); the composite reacts to C only through "
+         "its GENERAL phases and boundary checkpoints. phi and Recons are "
+         "the composite's own levers — even Recons = 30 min (900x the "
+         "paper's value) costs less than rolling back half a period per "
+         "failure.\n";
+  return 0;
+}

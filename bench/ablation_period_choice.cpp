@@ -1,0 +1,72 @@
+/// \file ablation_period_choice.cpp
+/// E14: how much does the first-order Young/Daly period (Eq. 11) give away
+/// versus the exact numeric optimum of the Eq. 10 fixed point? The paper
+/// (end of Section IV-B3) warns the closed form "only holds when µ is large
+/// in front of the other parameters" — this bench quantifies the gap across
+/// the MTBF range, including the small-µ regime where √(2C(µ−D−R)) drops
+/// below C and must be clamped.
+///
+/// Flags: --alpha=0.8 --reps=200
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/time_units.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/phase_model.hpp"
+
+using namespace abftc;
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const double alpha = args.get_double("alpha", 0.8);
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 200));
+
+  std::cout << "# Period-selection ablation: Young/Daly (Eq. 11) vs exact "
+               "numeric optimum (alpha = " << alpha << ")\n\n";
+
+  common::Table table({"MTBF", "P Young/Daly", "P exact",
+                       "waste Pure (YD)", "waste Pure (exact)",
+                       "sim Pure (YD)", "delta"});
+  for (const double mtbf_min :
+       {25.0, 40.0, 60.0, 120.0, 240.0, 1440.0}) {
+    const auto s = core::figure7_scenario(common::minutes(mtbf_min), alpha);
+    const auto p_yd = core::optimal_period_first_order(
+        s.ckpt.full_cost, s.platform.mtbf, s.platform.downtime,
+        s.ckpt.full_recovery);
+    const auto p_ex = core::optimal_period_exact(
+        s.ckpt.full_cost, s.platform.mtbf, s.platform.downtime,
+        s.ckpt.full_recovery);
+    if (!p_yd || !p_ex) {
+      table.add_row({common::fmt(mtbf_min, 4) + "min", "none", "none",
+                     "1.0000", "1.0000", "n/a", "-"});
+      continue;
+    }
+    const auto m_yd = core::evaluate_pure(s, {.exact_period = false});
+    const auto m_ex = core::evaluate_pure(s, {.exact_period = true});
+    core::MonteCarloOptions mc;
+    mc.replicates = reps;
+    const auto sim =
+        core::monte_carlo(core::Protocol::PurePeriodicCkpt, s, {}, mc);
+    table.add_row({common::fmt(mtbf_min, 4) + "min",
+                   common::format_duration(*p_yd),
+                   common::format_duration(*p_ex),
+                   common::fmt_fixed(m_yd.waste(), 4),
+                   common::fmt_fixed(m_ex.waste(), 4),
+                   common::fmt_fixed(sim.waste.mean(), 4),
+                   common::fmt_fixed(m_yd.waste() - m_ex.waste(), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the zero deltas confirm that Eq. 11 is the *exact*\n"
+         "minimizer of the Eq. 10 fixed point (differentiating X gives\n"
+         "P = sqrt(2C(mu-D-R)) with no further approximation) — the\n"
+         "'first-order' caveat of Section IV-B3 is about Eq. 10 itself,\n"
+         "not the period choice. That model-level conservatism is visible\n"
+         "in the 'sim' column: at small MTBF the simulated waste sits\n"
+         "below the model because the model charges every failure a full\n"
+         "D + R + P/2 regardless of where it strikes.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file fig10_constant_ckpt.cpp
+/// Reproduces Figure 10: the Figure-9 scenario under the optimistic storage
+/// hypothesis — buddy/in-memory checkpointing whose cost does NOT grow with
+/// the node count (C = R = 60 s at every scale). The paper's headline
+/// claims: even at 1M nodes the periodic protocols stay below ~15% waste,
+/// the composite's waste is nearly constant in the node count, and matching
+/// the composite with checkpointing alone requires cutting C = R to ~6 s
+/// (printed here as the extra `C=R=6s` series).
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/scaling.hpp"
+
+using namespace abftc;
+
+// The published Figs 8-10 run ABFT at every scale (the text's safeguard
+// would collapse the composite onto BiPeriodicCkpt below the crossover --
+// see EXPERIMENTS.md), so these benches disable it.
+static constexpr core::ModelOptions kNoSafeguard{.safeguard = false};
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  std::cout << "# Figure 10 — weak scaling, variable alpha, constant "
+               "checkpoint cost (C = R = 60 s)\n\n";
+
+  auto cfg = core::figure10_config();
+  auto fast = cfg;
+  fast.base_ckpt = 6.0;  // the paper's "C = R = 6 s" NVRAM remark
+
+  common::Table table({"nodes", "alpha", "waste Pure", "waste Bi",
+                       "waste ABFT&", "waste Pure(C=6s)", "flt Pure", "flt Bi",
+                       "flt ABFT&"});
+  const core::Protocol ps[] = {core::Protocol::PurePeriodicCkpt,
+                               core::Protocol::BiPeriodicCkpt,
+                               core::Protocol::AbftPeriodicCkpt};
+  for (const double nodes : core::default_node_sweep()) {
+    const auto s = core::scenario_at(cfg, nodes);
+    std::vector<std::string> row{common::fmt(nodes, 6),
+                                 common::fmt_fixed(s.epoch.alpha, 3)};
+    std::vector<std::string> faults;
+    for (const auto p : ps) {
+      const auto m = core::evaluate(p, s, kNoSafeguard);
+      row.push_back(m.diverged ? "1.000(div)"
+                               : common::fmt_fixed(m.waste(), 3));
+      faults.push_back(
+          m.diverged ? "inf"
+                     : common::fmt_fixed(m.expected_failures(s.platform.mtbf),
+                                         1));
+    }
+    const auto m6 = core::evaluate(core::Protocol::PurePeriodicCkpt,
+                                   core::scenario_at(fast, nodes), kNoSafeguard);
+    row.push_back(m6.diverged ? "1.000(div)" : common::fmt_fixed(m6.waste(), 3));
+    for (auto& f : faults) row.push_back(std::move(f));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nShape checks (paper, Section V-C):\n"
+         "  * both periodic protocols stay below ~15% waste at 1M nodes;\n"
+         "  * the composite's waste is almost flat in the node count (the "
+         "ABFT overhead is scale-independent);\n"
+         "  * the composite still wins at 1M nodes; only ~6 s checkpoints "
+         "would bring pure checkpointing level with it.\n";
+  return 0;
+}

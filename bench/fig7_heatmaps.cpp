@@ -1,0 +1,113 @@
+/// \file fig7_heatmaps.cpp
+/// Reproduces Figure 7 of the paper: waste of PurePeriodicCkpt,
+/// BiPeriodicCkpt and ABFT&PeriodicCkpt as a function of the platform MTBF
+/// (x axis, 60–240 min) and the fraction of time α spent in the LIBRARY
+/// phase (y axis, 0–1), with the fixed parameters
+///   T0 = 1 week, C = R = 10 min, D = 1 min, ρ = 0.8, φ = 1.03,
+///   Recons_ABFT = 2 s.
+/// Panels (a)(c)(e): model waste. Panels (b)(d)(f): WASTE_simul −
+/// WASTE_model, the validation gap (paper: |gap| ≤ 0.12 at the smallest
+/// MTBF, < 0.05 elsewhere).
+///
+/// Flags: --reps=N (default 200), --mtbf-step=20, --alpha-step=0.1,
+///        --csv (emit CSV blocks after the tables)
+
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/time_units.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/protocol_models.hpp"
+
+using namespace abftc;
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 200));
+  const double mtbf_step = args.get_double("mtbf-step", 20.0);
+  const double alpha_step = args.get_double("alpha-step", 0.1);
+  const bool csv = args.get_bool("csv", false);
+
+  std::vector<double> mtbfs_min;
+  for (double m = 60.0; m <= 240.0 + 1e-9; m += mtbf_step)
+    mtbfs_min.push_back(m);
+  std::vector<double> alphas;
+  for (double a = 0.0; a <= 1.0 + 1e-9; a += alpha_step)
+    alphas.push_back(std::min(a, 1.0));
+
+  std::cout << "# Figure 7 — waste vs (MTBF, alpha); T0=1w, C=R=10min, "
+               "D=1min, rho=0.8, phi=1.03, Recons=2s; "
+            << reps << " sim replicates/cell\n\n";
+
+  const core::Protocol protocols[] = {core::Protocol::PurePeriodicCkpt,
+                                      core::Protocol::BiPeriodicCkpt,
+                                      core::Protocol::AbftPeriodicCkpt};
+  const char* panel_model[] = {"(a)", "(c)", "(e)"};
+  const char* panel_diff[] = {"(b)", "(d)", "(f)"};
+
+  int pi = 0;
+  for (const auto protocol : protocols) {
+    std::vector<std::vector<double>> model_grid, diff_grid;
+    double max_abs_diff = 0.0, max_diff_at_min_mtbf = 0.0;
+    for (const double alpha : alphas) {
+      std::vector<double> model_row, diff_row;
+      for (const double mtbf_min : mtbfs_min) {
+        const auto scenario =
+            core::figure7_scenario(common::minutes(mtbf_min), alpha);
+        const auto model = core::evaluate(protocol, scenario);
+        core::MonteCarloOptions mc;
+        mc.replicates = reps;
+        const auto sim = core::monte_carlo(protocol, scenario, {}, mc);
+        const double diff = sim.waste.mean() - model.waste();
+        model_row.push_back(model.waste());
+        diff_row.push_back(diff);
+        max_abs_diff = std::max(max_abs_diff, std::fabs(diff));
+        if (mtbf_min == mtbfs_min.front())
+          max_diff_at_min_mtbf =
+              std::max(max_diff_at_min_mtbf, std::fabs(diff));
+      }
+      model_grid.push_back(std::move(model_row));
+      diff_grid.push_back(std::move(diff_row));
+    }
+
+    common::print_grid(std::cout,
+                       std::string("Fig 7") + panel_model[pi] + " — waste of " +
+                           std::string(core::to_string(protocol)) + ": model",
+                       "MTBF[min]", mtbfs_min, "alpha", alphas, model_grid, 3);
+    std::cout << '\n';
+    common::print_grid(
+        std::cout,
+        std::string("Fig 7") + panel_diff[pi] + " — " +
+            std::string(core::to_string(protocol)) +
+            ": WASTE_simul - WASTE_model",
+        "MTBF[min]", mtbfs_min, "alpha", alphas, diff_grid, 3);
+    std::cout << "max |sim - model| over the grid: "
+              << common::fmt_fixed(max_abs_diff, 4)
+              << " (at MTBF=60min column: "
+              << common::fmt_fixed(max_diff_at_min_mtbf, 4) << ")\n\n";
+
+    if (csv) {
+      std::cout << "csv," << core::to_string(protocol)
+                << ",alpha,mtbf_min,model_waste,diff\n";
+      for (std::size_t yi = 0; yi < alphas.size(); ++yi)
+        for (std::size_t xi = 0; xi < mtbfs_min.size(); ++xi)
+          std::cout << "csv," << core::to_string(protocol) << ','
+                    << alphas[yi] << ',' << mtbfs_min[xi] << ','
+                    << model_grid[yi][xi] << ',' << diff_grid[yi][xi] << '\n';
+      std::cout << '\n';
+    }
+    ++pi;
+  }
+
+  std::cout
+      << "Shape checks (paper, Section V-B):\n"
+         "  * PurePeriodicCkpt waste depends on the MTBF only (columns are "
+         "constant in alpha).\n"
+         "  * BiPeriodicCkpt improves slightly as alpha -> 1 (checkpoints "
+         "shrink by rho).\n"
+         "  * ABFT&PeriodicCkpt waste falls strongly with alpha and tends "
+         "to ~phi-1 = 3% at alpha=1 for large MTBF.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// \file fig8_weak_scaling.cpp
+/// Reproduces Figure 8: weak scaling with a fixed α = 0.8 — waste and
+/// expected failure count of the three protocols as the platform grows from
+/// 1k to 1M nodes, with both phases scaling as O(n³) (completion time
+/// ∝ √nodes), the MTBF shrinking and the checkpoint cost growing with the
+/// machine. Following Section V-C the curves are produced by the *model*
+/// ("we (confidently) use only the model in this scalability study");
+/// pass --sim to add Monte-Carlo spot checks.
+///
+/// The calibration of the scaling laws (and why the literal text's
+/// parameters cannot reproduce the published curves) is in EXPERIMENTS.md;
+/// pass --literal to print the literal-text configuration and watch every
+/// protocol diverge beyond ~300k nodes.
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/scaling.hpp"
+
+using namespace abftc;
+
+// The published Figs 8-10 run ABFT at every scale (the text's safeguard
+// would collapse the composite onto BiPeriodicCkpt below the crossover --
+// see EXPERIMENTS.md), so these benches disable it.
+static constexpr core::ModelOptions kNoSafeguard{.safeguard = false};
+
+namespace {
+
+void run_sweep(const core::WeakScalingConfig& cfg, bool with_sim,
+               std::size_t reps) {
+  common::Table table({"nodes", "alpha", "C=R[s]", "MTBF[s]",
+                       "waste Pure", "waste Bi", "waste ABFT&", "flt Pure",
+                       "flt Bi", "flt ABFT&"});
+  const core::Protocol ps[] = {core::Protocol::PurePeriodicCkpt,
+                               core::Protocol::BiPeriodicCkpt,
+                               core::Protocol::AbftPeriodicCkpt};
+  for (const double nodes : core::default_node_sweep()) {
+    const auto s = core::scenario_at(cfg, nodes);
+    std::vector<std::string> row{
+        common::fmt(nodes, 6), common::fmt_fixed(s.epoch.alpha, 3),
+        common::fmt(s.ckpt.full_cost, 4), common::fmt(s.platform.mtbf, 5)};
+    std::vector<std::string> faults;
+    for (const auto p : ps) {
+      const auto m = core::evaluate(p, s, kNoSafeguard);
+      row.push_back(m.diverged ? "1.000(div)"
+                               : common::fmt_fixed(m.waste(), 3));
+      faults.push_back(m.diverged
+                           ? "inf"
+                           : common::fmt_fixed(
+                                 m.expected_failures(s.platform.mtbf), 1));
+    }
+    for (auto& f : faults) row.push_back(std::move(f));
+    table.add_row(std::move(row));
+
+    if (with_sim) {
+      std::vector<std::string> sim_row{"  (sim)", "", "", ""};
+      for (const auto p : ps) {
+        core::MonteCarloOptions mc;
+        mc.replicates = reps;
+        const auto r = core::monte_carlo(p, s, kNoSafeguard, mc);
+        sim_row.push_back(r.plan_valid ? common::fmt_fixed(r.waste.mean(), 3)
+                                       : "n/a");
+      }
+      for (const auto p : ps) {
+        core::MonteCarloOptions mc;
+        mc.replicates = reps;
+        const auto r = core::monte_carlo(p, s, kNoSafeguard, mc);
+        sim_row.push_back(r.plan_valid
+                              ? common::fmt_fixed(r.failures.mean(), 1)
+                              : "n/a");
+      }
+      table.add_row(std::move(sim_row));
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const bool with_sim = args.get_bool("sim", false);
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 100));
+
+  std::cout << "# Figure 8 — weak scaling, fixed alpha = 0.8 "
+               "(1000 epochs, both phases O(n^3))\n\n";
+  run_sweep(core::figure8_config(), with_sim, reps);
+
+  std::cout << "\nShape checks (paper, Section V-C):\n"
+               "  * below ~100k nodes the ABFT fault-free overhead makes the "
+               "composite slightly worse;\n"
+               "  * the crossover sits near 100k nodes;\n"
+               "  * at 1M nodes the composite's waste is well below both "
+               "periodic protocols;\n"
+               "  * the periodic protocols suffer more failures (their "
+               "executions run longer).\n";
+
+  if (args.get_bool("literal", false)) {
+    std::cout << "\n# Literal Section V-C text parameters (epoch = 1 min at "
+                 "10k nodes, C ∝ x, MTBF ∝ 1/x):\n"
+                 "# every protocol hits waste = 1 once µ < C + R + D — the "
+                 "published curves cannot come from these numbers.\n\n";
+    run_sweep(core::figure8_literal_config(), false, 0);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file abft_lu_recovery.cpp
+/// Anatomy of an ABFT recovery (Section III-A, LIBRARY-phase failure path):
+/// factor a dense system on a virtual 2-D process grid, kill a rank halfway
+/// through, reconstruct its blocks from the checksum accumulators, finish
+/// the factorization and verify the factors — no rollback, no checkpoint.
+///
+/// Flags: --n=192 --nb=16 --step=-1 (default: halfway) --rank=4
+///        --prows=2 --pcols=3
+
+#include <iostream>
+
+#include "abft/abft_lu.hpp"
+#include "abft/blas.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace abftc;
+using abft::Matrix;
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 192));
+  const std::size_t nb = static_cast<std::size_t>(args.get_int("nb", 16));
+  const abft::ProcessGrid grid{
+      static_cast<std::size_t>(args.get_int("prows", 2)),
+      static_cast<std::size_t>(args.get_int("pcols", 3))};
+  const long long step_arg = args.get_int("step", -1);
+  const std::size_t at_step =
+      step_arg < 0 ? n / nb / 2 : static_cast<std::size_t>(step_arg);
+  const std::size_t rank = static_cast<std::size_t>(args.get_int("rank", 4));
+
+  common::Rng rng(2024);
+  const Matrix a = Matrix::diag_dominant(n, rng);
+
+  std::cout << "ABFT-LU on a " << n << "x" << n << " diagonally dominant "
+            << "system, block " << nb << ", grid " << grid.prows << "x"
+            << grid.pcols << "\n";
+  std::cout << "killing rank " << rank << " (grid position "
+            << grid.grid_row(rank) << "," << grid.grid_col(rank)
+            << ") before block step " << at_step << " of " << n / nb << "\n\n";
+
+  abft::AbftLu lu(a, nb, grid);
+  lu.factor({{at_step, rank}});
+
+  const Matrix product = lu.reconstruct_product();
+  const double rel = abft::relative_error(product, a);
+
+  common::Table table({"quantity", "value"});
+  table.add_row({"blocks reconstructed",
+                 std::to_string(lu.recovery().blocks_recovered)});
+  table.add_row({"doubles reconstructed",
+                 std::to_string(lu.recovery().values_recovered)});
+  table.add_row({"reconstruction wall time",
+                 common::fmt(lu.recovery().seconds, 3) + " s"});
+  table.add_row({"checksum residual after factor",
+                 common::fmt(lu.checksum_residual(), 3)});
+  table.add_row({"||L*U - A||_F / ||A||_F", common::fmt(rel, 3)});
+  table.add_row({"checksum arithmetic overhead (1/P)",
+                 common::fmt_percent(lu.overhead_fraction(), 1)});
+  table.print(std::cout);
+
+  // Contrast with the checkpoint alternative: losing the rank without ABFT
+  // would discard *all* factorization progress back to the last checkpoint.
+  std::cout << "\nWithout ABFT, this failure would have rolled the whole "
+               "factorization back;\nwith ABFT it cost one reconstruction "
+               "pass over the rank's blocks.\n";
+  if (rel < 1e-9) {
+    std::cout << "OK: factors verified.\n";
+    return 0;
+  }
+  std::cout << "FAIL: factorization incorrect.\n";
+  return 1;
+}

@@ -1,0 +1,135 @@
+/// \file radar_cross_section.cpp
+/// Second motivating application from the paper's introduction: "radar
+/// cross-section" — a frequency sweep where each frequency point solves a
+/// dense linear system (method-of-moments style). Each frequency is one
+/// epoch: the GENERAL phase assembles the frequency-dependent system and
+/// excitation vectors, the LIBRARY phase LU-factors it under ABFT and
+/// back-solves for several incidence angles.
+///
+/// Rank failures are injected at different factorization steps of different
+/// epochs; the computed monostatic response must match the failure-free
+/// reference for every frequency.
+///
+/// Flags: --n=96 (system size; keep n/8 a multiple of 2 and 3),
+///        --freqs=5, --angles=4
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "abft/abft_lu.hpp"
+#include "abft/blas.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace abftc;
+using abft::Matrix;
+
+namespace {
+
+/// Frequency-dependent impedance-like matrix: diagonally dominant with an
+/// oscillatory off-diagonal kernel (a real-valued stand-in for the complex
+/// MoM operator; the protection arithmetic is identical).
+Matrix impedance_matrix(std::size_t n, double k_wave) {
+  Matrix z(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double r =
+          std::fabs(static_cast<double>(i) - static_cast<double>(j));
+      z(i, j) = std::cos(k_wave * r) / (1.0 + r);
+      off += std::fabs(z(i, j));
+    }
+    z(i, i) = off + 2.0;
+  }
+  return z;
+}
+
+std::vector<double> excitation(std::size_t n, double k_wave, double angle) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::cos(k_wave * std::cos(angle) * static_cast<double>(i));
+  return v;
+}
+
+/// One frequency sweep; returns the response magnitude per (freq, angle).
+std::vector<std::vector<double>> sweep(std::size_t n, std::size_t freqs,
+                                       std::size_t angles, bool with_faults,
+                                       std::size_t* recovered_blocks) {
+  const std::size_t nb = 8;
+  const abft::ProcessGrid grid{2, 3};
+  std::vector<std::vector<double>> rcs(freqs);
+  if (recovered_blocks) *recovered_blocks = 0;
+
+  for (std::size_t f = 0; f < freqs; ++f) {
+    const double k_wave = 0.3 + 0.15 * static_cast<double>(f);
+
+    // GENERAL phase: assemble (cheap to re-execute; under the composite
+    // protocol this would be checkpoint-protected).
+    const Matrix z = impedance_matrix(n, k_wave);
+
+    // LIBRARY phase: ABFT-protected factorization; kill a different rank at
+    // a different step in every other epoch.
+    std::vector<abft::AbftLu::Fault> faults;
+    if (with_faults && f % 2 == 1)
+      faults.push_back({/*at_step=*/(f * 3) % (n / nb),
+                        /*dead_rank=*/f % grid.size()});
+    abft::AbftLu lu(z, nb, grid);
+    lu.factor(faults);
+    if (recovered_blocks) *recovered_blocks += lu.recovery().blocks_recovered;
+
+    for (std::size_t a = 0; a < angles; ++a) {
+      const double angle = std::numbers::pi * static_cast<double>(a) /
+                           static_cast<double>(2 * angles);
+      const auto current = abft::lu_solve(lu.lu(), excitation(n, k_wave, angle));
+      // Monostatic response ~ |excitationᵀ · current|.
+      double resp = 0.0;
+      const auto e = excitation(n, k_wave, angle);
+      for (std::size_t i = 0; i < n; ++i) resp += e[i] * current[i];
+      rcs[f].push_back(std::fabs(resp));
+    }
+  }
+  return rcs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 96));
+  const std::size_t freqs = static_cast<std::size_t>(args.get_int("freqs", 5));
+  const std::size_t angles =
+      static_cast<std::size_t>(args.get_int("angles", 4));
+
+  std::cout << "Radar-cross-section style frequency sweep: " << freqs
+            << " frequencies x " << angles << " angles, system size " << n
+            << "\n\n";
+
+  const auto ref = sweep(n, freqs, angles, false, nullptr);
+  std::size_t recovered = 0;
+  const auto faulty = sweep(n, freqs, angles, true, &recovered);
+
+  common::Table table({"freq idx", "angle idx", "response (ref)",
+                       "response (with failures)", "abs diff"});
+  double max_diff = 0.0;
+  for (std::size_t f = 0; f < freqs; ++f)
+    for (std::size_t a = 0; a < angles; ++a) {
+      const double d = std::fabs(ref[f][a] - faulty[f][a]);
+      max_diff = std::max(max_diff, d);
+      table.add_row({std::to_string(f), std::to_string(a),
+                     common::fmt(ref[f][a], 8), common::fmt(faulty[f][a], 8),
+                     common::fmt(d, 3)});
+    }
+  table.print(std::cout);
+
+  std::cout << "\nblocks reconstructed from ABFT checksums: " << recovered
+            << "\nmax |response difference| = " << max_diff << "\n";
+  if (max_diff < 1e-7) {
+    std::cout << "OK: the sweep is failure-transparent under ABFT.\n";
+    return 0;
+  }
+  std::cout << "FAIL: responses diverged.\n";
+  return 1;
+}

@@ -1,0 +1,60 @@
+#pragma once
+/// \file abft_cholesky.hpp
+/// ABFT-protected blocked Cholesky factorization (lower, A = L·Lᵀ) with the
+/// same dual-accumulator row-group checksum scheme as AbftLu.
+///
+/// The working matrix is kept fully symmetric (the strictly upper part
+/// mirrors the L²¹ panels), which lets the trailing update run as a full
+/// square GEMM whose row-linearity carries the checksums exactly. This
+/// doubles the update flops versus a triangular SYRK — a deliberate
+/// simplicity/fidelity trade-off documented in DESIGN.md: the protection
+/// arithmetic and recovery paths are identical to a production triangular
+/// implementation.
+
+#include <vector>
+
+#include "abft/checksum.hpp"
+
+namespace abftc::abft {
+
+class AbftCholesky {
+ public:
+  struct Fault {
+    std::size_t at_step = 0;
+    std::size_t dead_rank = 0;
+  };
+
+  /// A must be symmetric positive definite, dimension a multiple of nb,
+  /// block count a multiple of the grid rows.
+  AbftCholesky(Matrix a, std::size_t nb, ProcessGrid grid);
+
+  void factor(const std::vector<Fault>& faults = {});
+
+  /// The factor L in the lower triangle (upper holds Lᵀ mirror data).
+  [[nodiscard]] const Matrix& factor_matrix() const noexcept { return a_; }
+
+  /// L·Lᵀ recomputed from the lower triangle.
+  [[nodiscard]] Matrix reconstruct_product() const;
+
+  [[nodiscard]] double checksum_residual() const;
+  [[nodiscard]] const RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] std::size_t block_steps() const noexcept { return nbk_; }
+
+ private:
+  void step(std::size_t k);
+  void recover_rank(std::size_t k, std::size_t dead_rank);
+
+  Matrix a_;
+  Matrix active_cs_, frozen_cs_;
+  std::size_t nb_, nbk_;
+  std::size_t frozen_steps_ = 0;
+  ProcessGrid grid_;
+  RecoveryStats recovery_;
+};
+
+/// Baseline: plain blocked Cholesky (lower) without checksums.
+void plain_blocked_cholesky(Matrix& a, std::size_t nb);
+
+}  // namespace abftc::abft

@@ -1,0 +1,156 @@
+#include "abft/abft_qr.hpp"
+
+#include <chrono>
+
+#include "abft/blas.hpp"
+
+namespace abftc::abft {
+
+AbftQr::AbftQr(Matrix a, std::size_t nb, ProcessGrid grid)
+    : a_(std::move(a)), nb_(nb), grid_(grid) {
+  grid_.validate();
+  ABFTC_REQUIRE(a_.rows() == a_.cols(), "AbftQr expects a square matrix");
+  ABFTC_REQUIRE(nb > 0 && a_.rows() % nb == 0,
+                "dimension must be a multiple of the block size");
+  nbk_ = a_.rows() / nb_;
+  ABFTC_REQUIRE(nbk_ % grid_.pcols == 0,
+                "block count must be a multiple of the grid columns");
+  active_cs_ = col_group_checksums(a_, nb_, grid_.pcols);
+  frozen_cs_ = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
+  taus_.resize(nbk_);
+}
+
+void AbftQr::factor(const std::vector<Fault>& faults) {
+  recovery_ = RecoveryStats{};
+  std::size_t next_fault = 0;
+  for (std::size_t k = 0; k <= nbk_; ++k) {
+    // Faults with the same step are simultaneous: all ranks die before any
+    // reconstruction begins (the hard case for checksum protection).
+    std::size_t batch_end = next_fault;
+    while (batch_end < faults.size() && faults[batch_end].at_step == k) {
+      ABFTC_REQUIRE(faults[batch_end].dead_rank < grid_.size(),
+                    "dead rank out of range");
+      kill_rank_blocks(a_, nb_, grid_, faults[batch_end].dead_rank);
+      ++batch_end;
+    }
+    for (; next_fault < batch_end; ++next_fault)
+      recover_rank(k, faults[next_fault].dead_rank);
+    if (k == nbk_) break;
+    step(k);
+  }
+  ABFTC_REQUIRE(next_fault == faults.size(),
+                "faults must be sorted by step and within range");
+}
+
+void AbftQr::step(std::size_t k) {
+  const std::size_t n = a_.rows();
+  const std::size_t off = k * nb_;
+  const std::size_t rest = n - off - nb_;
+  const std::size_t g = k / grid_.pcols;
+
+  // Remove the panel's block column (pre-step values) from the active sums.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < nb_; ++c)
+      active_cs_(i, g * nb_ + c) -= a_(i, off + c);
+
+  // (a) Panel factorization on rows off.., column block k.
+  MatrixView panel = a_.block(off, off, n - off, nb_);
+  geqr2(panel, taus_[k]);
+
+  // (b) Apply the panel's reflectors to the trailing columns and to the
+  //     active checksum columns (identical left multiplications).
+  if (rest > 0)
+    apply_reflectors_left(panel, taus_[k],
+                          a_.block(off, off + nb_, n - off, rest));
+  apply_reflectors_left(panel, taus_[k],
+                        active_cs_.block(off, 0, n - off, active_cs_.cols()));
+
+  // Freeze the finalized panel columns.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < nb_; ++c)
+      frozen_cs_(i, g * nb_ + c) += a_(i, off + c);
+  frozen_steps_ = k + 1;
+}
+
+void AbftQr::recover_rank(std::size_t k, std::size_t dead_rank) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+  stats.recoveries = 1;
+
+  for (const auto& [bi, bj] : blocks_of_rank(grid_, dead_rank, nbk_, nbk_)) {
+    MatrixView lost = a_.view().block(bi * nb_, bj * nb_, nb_, nb_);
+    if (!has_nan(lost)) continue;
+    const bool frozen = bj < k;
+    const Matrix& cs = frozen ? frozen_cs_ : active_cs_;
+    const std::size_t g = bj / grid_.pcols;
+    for (std::size_t r = 0; r < nb_; ++r)
+      for (std::size_t c = 0; c < nb_; ++c)
+        lost(r, c) = cs(bi * nb_ + r, g * nb_ + c);
+    const std::size_t first = g * grid_.pcols;
+    for (std::size_t mj = first; mj < first + grid_.pcols; ++mj) {
+      if (mj == bj) continue;
+      if ((mj < k) != frozen) continue;
+      ConstMatrixView other = a_.view().block(bi * nb_, mj * nb_, nb_, nb_);
+      if (has_nan(other))
+        throw unrecoverable_error(
+            "two lost block columns share a checksum group");
+      for (std::size_t r = 0; r < nb_; ++r)
+        for (std::size_t c = 0; c < nb_; ++c) lost(r, c) -= other(r, c);
+    }
+    ++stats.blocks_recovered;
+    stats.values_recovered += nb_ * nb_;
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  recovery_ += stats;
+}
+
+Matrix AbftQr::apply_q_transpose(const Matrix& x) const {
+  ABFTC_REQUIRE(x.rows() == a_.rows(), "row count mismatch");
+  Matrix out = x;
+  const std::size_t n = a_.rows();
+  for (std::size_t k = 0; k < frozen_steps_; ++k) {
+    const std::size_t off = k * nb_;
+    apply_reflectors_left(a_.block(off, off, n - off, nb_), taus_[k],
+                          out.block(off, 0, n - off, out.cols()));
+  }
+  return out;
+}
+
+Matrix AbftQr::apply_q(const Matrix& x) const {
+  ABFTC_REQUIRE(x.rows() == a_.rows(), "row count mismatch");
+  Matrix out = x;
+  const std::size_t n = a_.rows();
+  // Q = H_0 H_1 … H_{last}: apply reflectors in reverse order. Each H is
+  // symmetric (H = Hᵀ), so reusing the left application is exact.
+  for (std::size_t k = frozen_steps_; k-- > 0;) {
+    const std::size_t off = k * nb_;
+    // Reflectors within a panel must also be reversed; apply one by one.
+    const auto& tau = taus_[k];
+    for (std::size_t j = tau.size(); j-- > 0;) {
+      std::vector<double> single(j + 1, 0.0);
+      single[j] = tau[j];
+      apply_reflectors_left(a_.block(off, off, n - off, nb_), single,
+                            out.block(off, 0, n - off, out.cols()));
+    }
+  }
+  return out;
+}
+
+double AbftQr::checksum_residual() const {
+  Matrix expect_active = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
+  Matrix expect_frozen = Matrix::zeros(frozen_cs_.rows(), frozen_cs_.cols());
+  const std::size_t n = a_.rows();
+  for (std::size_t bj = 0; bj < nbk_; ++bj) {
+    Matrix& target = (bj < frozen_steps_) ? expect_frozen : expect_active;
+    const std::size_t g = bj / grid_.pcols;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < nb_; ++c)
+        target(i, g * nb_ + c) += a_(i, bj * nb_ + c);
+  }
+  return std::max(max_abs_diff(expect_active, active_cs_),
+                  max_abs_diff(expect_frozen, frozen_cs_));
+}
+
+}  // namespace abftc::abft

@@ -1,0 +1,62 @@
+#pragma once
+/// \file abft_qr.hpp
+/// ABFT-protected blocked Householder QR.
+///
+/// QR's protection is the column-wise mirror of AbftLu's: Householder
+/// updates are *left* multiplications, which act column-by-column, so
+/// column-group checksums (extra checksum columns, groups of Q block
+/// columns) are carried exactly by applying every reflector to the checksum
+/// columns as well. When a panel finishes, its columns (R above the
+/// diagonal, the Householder vectors V below) freeze and their contribution
+/// migrates from the active to the frozen accumulator. The tau coefficients
+/// are metadata replicated on the reliable rank.
+
+#include <vector>
+
+#include "abft/checksum.hpp"
+
+namespace abftc::abft {
+
+class AbftQr {
+ public:
+  struct Fault {
+    std::size_t at_step = 0;
+    std::size_t dead_rank = 0;
+  };
+
+  /// A must be square (m = n kept for grid symmetry), dimension a multiple
+  /// of nb, block count a multiple of the grid columns.
+  AbftQr(Matrix a, std::size_t nb, ProcessGrid grid);
+
+  void factor(const std::vector<Fault>& faults = {});
+
+  /// Compact factor: R in the upper triangle, Householder vectors below.
+  [[nodiscard]] const Matrix& qr() const noexcept { return a_; }
+
+  /// Apply Qᵀ (from the stored reflectors) to a matrix: returns QᵀX.
+  /// With X = the original A this reproduces R (verification).
+  [[nodiscard]] Matrix apply_q_transpose(const Matrix& x) const;
+
+  /// Apply Q to a matrix (inverse transform of apply_q_transpose).
+  [[nodiscard]] Matrix apply_q(const Matrix& x) const;
+
+  [[nodiscard]] double checksum_residual() const;
+  [[nodiscard]] const RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] std::size_t block_steps() const noexcept { return nbk_; }
+
+ private:
+  void step(std::size_t k);
+  void recover_rank(std::size_t k, std::size_t dead_rank);
+
+  Matrix a_;
+  Matrix active_cs_, frozen_cs_;  // n × (groups·nb)
+  std::vector<std::vector<double>> taus_;  // one vector per block step
+  std::size_t nb_, nbk_;
+  std::size_t frozen_steps_ = 0;  ///< block columns 0..frozen_steps_-1 frozen
+  ProcessGrid grid_;
+  RecoveryStats recovery_;
+};
+
+}  // namespace abftc::abft

@@ -1,0 +1,226 @@
+#include "abft/blas.hpp"
+
+#include <cmath>
+
+namespace abftc::abft {
+
+namespace {
+constexpr double kPivotTiny = 1e-13;
+}
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+          Trans tb, double beta, MatrixView c) {
+  const std::size_t m = (ta == Trans::No) ? a.rows() : a.cols();
+  const std::size_t k = (ta == Trans::No) ? a.cols() : a.rows();
+  const std::size_t kb = (tb == Trans::No) ? b.rows() : b.cols();
+  const std::size_t n = (tb == Trans::No) ? b.cols() : b.rows();
+  ABFTC_REQUIRE(k == kb, "gemm inner dimensions must match");
+  ABFTC_REQUIRE(c.rows() == m && c.cols() == n, "gemm output shape mismatch");
+
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) c(i, j) *= beta;
+
+  if (ta == Trans::No && tb == Trans::No) {
+    // ikj order: stream through rows of B for row-major locality.
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = alpha * a(i, p);
+        if (aip == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) c(i, j) += aip * b(p, j);
+      }
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += a(i, p) * b(j, p);
+        c(i, j) += alpha * s;
+      }
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t i = 0; i < m; ++i) {
+        const double api = alpha * a(p, i);
+        if (api == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) c(i, j) += api * b(p, j);
+      }
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += a(p, i) * b(j, p);
+        c(i, j) += alpha * s;
+      }
+  }
+}
+
+void gemm_sub(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  gemm(-1.0, a, Trans::No, b, Trans::No, 1.0, c);
+}
+
+void trsm_right_upper(ConstMatrixView u, MatrixView b) {
+  const std::size_t n = u.rows();
+  ABFTC_REQUIRE(u.cols() == n, "triangular factor must be square");
+  ABFTC_REQUIRE(b.cols() == n, "shape mismatch in trsm_right_upper");
+  // Solve X·U = B row by row: x_j = (b_j − Σ_{p<j} x_p u_pj) / u_jj.
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = b(i, j);
+      for (std::size_t p = 0; p < j; ++p) s -= b(i, p) * u(p, j);
+      ABFTC_CHECK(std::fabs(u(j, j)) > kPivotTiny,
+                  "singular triangular factor");
+      b(i, j) = s / u(j, j);
+    }
+}
+
+void trsm_left_lower_unit(ConstMatrixView l, MatrixView b) {
+  const std::size_t n = l.rows();
+  ABFTC_REQUIRE(l.cols() == n, "triangular factor must be square");
+  ABFTC_REQUIRE(b.rows() == n, "shape mismatch in trsm_left_lower_unit");
+  // Forward substitution: row i of the solution depends on rows < i.
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t p = 0; p < i; ++p) {
+      const double lip = l(i, p);
+      if (lip == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) -= lip * b(p, j);
+    }
+}
+
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
+  const std::size_t n = l.rows();
+  ABFTC_REQUIRE(l.cols() == n, "triangular factor must be square");
+  ABFTC_REQUIRE(b.cols() == n, "shape mismatch in trsm_right_lower_trans");
+  // Solve X·Lᵀ = B: x_j = (b_j − Σ_{p<j} x_p l_jp) / l_jj.
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = b(i, j);
+      for (std::size_t p = 0; p < j; ++p) s -= b(i, p) * l(j, p);
+      ABFTC_CHECK(std::fabs(l(j, j)) > kPivotTiny,
+                  "singular triangular factor");
+      b(i, j) = s / l(j, j);
+    }
+}
+
+void getf2_nopiv(MatrixView a) {
+  const std::size_t n = a.rows();
+  ABFTC_REQUIRE(a.cols() == n, "getf2_nopiv expects a square block");
+  for (std::size_t k = 0; k < n; ++k) {
+    ABFTC_CHECK(std::fabs(a(k, k)) > kPivotTiny,
+                "zero pivot in unpivoted LU (matrix not diagonally dominant?)");
+    const double inv = 1.0 / a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a(i, k) *= inv;
+      const double lik = a(i, k);
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
+    }
+  }
+}
+
+void potf2_lower(MatrixView a) {
+  const std::size_t n = a.rows();
+  ABFTC_REQUIRE(a.cols() == n, "potf2 expects a square block");
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t p = 0; p < j; ++p) d -= a(j, p) * a(j, p);
+    ABFTC_CHECK(d > 0.0, "matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) s -= a(i, p) * a(j, p);
+      a(i, j) = s / ljj;
+    }
+  }
+}
+
+void geqr2(MatrixView a, std::vector<double>& tau) {
+  const std::size_t m = a.rows();
+  const std::size_t k = std::min(m, a.cols());
+  tau.assign(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Build the Householder reflector annihilating a(j+1:, j).
+    double norm2 = 0.0;
+    for (std::size_t i = j; i < m; ++i) norm2 += a(i, j) * a(i, j);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) {
+      tau[j] = 0.0;
+      continue;
+    }
+    const double alpha = a(j, j);
+    const double beta = (alpha >= 0.0) ? -norm : norm;
+    tau[j] = (beta - alpha) / beta;
+    const double inv = 1.0 / (alpha - beta);
+    for (std::size_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    a(j, j) = beta;
+    // Apply (I − τ v vᵀ) to the remaining columns.
+    for (std::size_t c = j + 1; c < a.cols(); ++c) {
+      double s = a(j, c);
+      for (std::size_t i = j + 1; i < m; ++i) s += a(i, j) * a(i, c);
+      s *= tau[j];
+      a(j, c) -= s;
+      for (std::size_t i = j + 1; i < m; ++i) a(i, c) -= s * a(i, j);
+    }
+  }
+}
+
+void apply_reflectors_left(ConstMatrixView v_panel,
+                           const std::vector<double>& tau, MatrixView c) {
+  ABFTC_REQUIRE(v_panel.rows() == c.rows(),
+                "reflector panel and target must share row count");
+  ABFTC_REQUIRE(tau.size() <= v_panel.cols(), "too many tau coefficients");
+  const std::size_t m = c.rows();
+  for (std::size_t j = 0; j < tau.size(); ++j) {
+    if (tau[j] == 0.0) continue;
+    // v = [0…0, 1, v_panel(j+1:, j)]
+    for (std::size_t col = 0; col < c.cols(); ++col) {
+      double s = c(j, col);
+      for (std::size_t i = j + 1; i < m; ++i) s += v_panel(i, j) * c(i, col);
+      s *= tau[j];
+      c(j, col) -= s;
+      for (std::size_t i = j + 1; i < m; ++i)
+        c(i, col) -= s * v_panel(i, j);
+    }
+  }
+}
+
+void gemv(ConstMatrixView a, const std::vector<double>& x,
+          std::vector<double>& y) {
+  ABFTC_REQUIRE(x.size() == a.cols(), "gemv dimension mismatch");
+  y.assign(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+}
+
+std::vector<double> lu_solve(const Matrix& lu, std::vector<double> b) {
+  const std::size_t n = lu.rows();
+  ABFTC_REQUIRE(lu.cols() == n && b.size() == n, "lu_solve shape mismatch");
+  // Ly = b (unit lower).
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t p = 0; p < i; ++p) b[i] -= lu(i, p) * b[p];
+  // Ux = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t p = ii + 1; p < n; ++p) b[ii] -= lu(ii, p) * b[p];
+    ABFTC_CHECK(std::fabs(lu(ii, ii)) > kPivotTiny, "singular U factor");
+    b[ii] /= lu(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::vector<double> b) {
+  const std::size_t n = l.rows();
+  ABFTC_REQUIRE(l.cols() == n && b.size() == n,
+                "cholesky_solve shape mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < i; ++p) b[i] -= l(i, p) * b[p];
+    ABFTC_CHECK(std::fabs(l(i, i)) > kPivotTiny, "singular Cholesky factor");
+    b[i] /= l(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t p = ii + 1; p < n; ++p) b[ii] -= l(p, ii) * b[p];
+    b[ii] /= l(ii, ii);
+  }
+  return b;
+}
+
+}  // namespace abftc::abft

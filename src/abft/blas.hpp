@@ -1,0 +1,60 @@
+#pragma once
+/// \file blas.hpp
+/// The minimal dense kernels the ABFT factorizations need, written against
+/// matrix views. Loops are ordered for row-major locality; correctness (not
+/// peak FLOPs) is the goal — these kernels realize the *algorithms* whose
+/// protection the paper models.
+
+#include "abft/matrix.hpp"
+
+namespace abftc::abft {
+
+enum class Trans { No, Yes };
+
+/// C ← α·op(A)·op(B) + β·C.
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+          Trans tb, double beta, MatrixView c);
+
+/// Convenience: C ← C − A·B (the trailing-update shape).
+void gemm_sub(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// B ← B · U⁻¹ with U upper triangular, non-unit diagonal.
+void trsm_right_upper(ConstMatrixView u, MatrixView b);
+
+/// B ← L⁻¹ · B with L lower triangular, *unit* diagonal.
+void trsm_left_lower_unit(ConstMatrixView l, MatrixView b);
+
+/// B ← B · L⁻ᵀ with L lower triangular, non-unit diagonal (Cholesky panel).
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b);
+
+/// Unblocked LU without pivoting, in place: A ← L\U (unit lower + upper).
+/// Throws invariant_error on a (near-)zero pivot.
+void getf2_nopiv(MatrixView a);
+
+/// Unblocked Cholesky, lower, in place on the lower triangle.
+/// Throws invariant_error if the matrix is not positive definite.
+void potf2_lower(MatrixView a);
+
+/// Unblocked Householder QR: on return the upper triangle of `a` holds R and
+/// the columns below the diagonal hold the Householder vectors v (v0 = 1
+/// implicit); tau[j] is the reflector coefficient of column j.
+void geqr2(MatrixView a, std::vector<double>& tau);
+
+/// Apply the reflectors of (v, tau) — as produced by geqr2 on a panel of
+/// `k = tau.size()` columns — to C from the left: C ← (I − τ v vᵀ)…·C.
+void apply_reflectors_left(ConstMatrixView v_panel,
+                           const std::vector<double>& tau, MatrixView c);
+
+/// y ← A·x (helper for solve verification).
+void gemv(ConstMatrixView a, const std::vector<double>& x,
+          std::vector<double>& y);
+
+/// Solve L·U·x = b given the compact L\U factor (no pivoting).
+[[nodiscard]] std::vector<double> lu_solve(const Matrix& lu,
+                                           std::vector<double> b);
+
+/// Solve L·Lᵀ·x = b given the Cholesky factor in the lower triangle.
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& l,
+                                                 std::vector<double> b);
+
+}  // namespace abftc::abft

@@ -1,0 +1,17 @@
+#include "abft/grid.hpp"
+
+namespace abftc::abft {
+
+std::vector<std::pair<std::size_t, std::size_t>> blocks_of_rank(
+    const ProcessGrid& grid, std::size_t rank, std::size_t nbr,
+    std::size_t nbc) {
+  grid.validate();
+  ABFTC_REQUIRE(rank < grid.size(), "rank out of range");
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t bi = grid.grid_row(rank); bi < nbr; bi += grid.prows)
+    for (std::size_t bj = grid.grid_col(rank); bj < nbc; bj += grid.pcols)
+      out.emplace_back(bi, bj);
+  return out;
+}
+
+}  // namespace abftc::abft

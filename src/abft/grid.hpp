@@ -1,0 +1,48 @@
+#pragma once
+/// \file grid.hpp
+/// Virtual process grid with 2-D block-cyclic ownership — the failure-unit
+/// model of the ABFT kernels. This stands in for the MPI/ScaLAPACK process
+/// grid of the paper's references [9][10]: a "rank" owns every nb×nb block
+/// (bi, bj) with bi ≡ its grid row (mod P) and bj ≡ its grid column (mod Q),
+/// and killing a rank wipes exactly those blocks.
+///
+/// Checksum blocks live on a virtual *reliable* rank (the standard ABFT
+/// assumption that checksum data is duplicated or stored on protected
+/// processes), so a single rank failure never destroys a block together
+/// with its protecting checksum.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace abftc::abft {
+
+struct ProcessGrid {
+  std::size_t prows = 1;  ///< P: grid rows
+  std::size_t pcols = 1;  ///< Q: grid columns
+
+  [[nodiscard]] std::size_t size() const noexcept { return prows * pcols; }
+
+  /// Rank owning block (bi, bj) under 2-D block-cyclic distribution.
+  [[nodiscard]] std::size_t rank_of_block(std::size_t bi,
+                                          std::size_t bj) const noexcept {
+    return (bi % prows) * pcols + (bj % pcols);
+  }
+  [[nodiscard]] std::size_t grid_row(std::size_t rank) const noexcept {
+    return rank / pcols;
+  }
+  [[nodiscard]] std::size_t grid_col(std::size_t rank) const noexcept {
+    return rank % pcols;
+  }
+  void validate() const {
+    ABFTC_REQUIRE(prows > 0 && pcols > 0, "grid dimensions must be positive");
+  }
+};
+
+/// The block coordinates a rank owns within an nbr × nbc block matrix.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> blocks_of_rank(
+    const ProcessGrid& grid, std::size_t rank, std::size_t nbr,
+    std::size_t nbc);
+
+}  // namespace abftc::abft

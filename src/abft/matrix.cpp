@@ -1,0 +1,101 @@
+#include "abft/matrix.hpp"
+
+#include <cmath>
+
+namespace abftc::abft {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  ABFTC_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix Matrix::diag_dominant(std::size_t n, common::Rng& rng) {
+  Matrix m = random(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) off += std::fabs(m(i, j));
+    m(i, i) = off + 1.0 + rng.uniform01();
+  }
+  return m;
+}
+
+Matrix Matrix::spd(std::size_t n, common::Rng& rng) {
+  const Matrix b = random(n, n, rng);
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) {
+      const double bik = b(i, k);
+      for (std::size_t j = 0; j <= i; ++j) m(i, j) += bik * b(j, k);
+    }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) m(i, j) = m(j, i);
+  for (std::size_t i = 0; i < n; ++i)
+    m(i, i) += static_cast<double>(n);
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (const double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  ABFTC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double relative_error(const Matrix& a, const Matrix& b) {
+  ABFTC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "shape mismatch");
+  double num = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double d = a(i, j) - b(i, j);
+      num += d * d;
+    }
+  const double den = b.frobenius_norm();
+  return std::sqrt(num) / (den + 1e-300);
+}
+
+void copy_into(ConstMatrixView src, MatrixView dst) {
+  ABFTC_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                "shape mismatch");
+  for (std::size_t i = 0; i < src.rows(); ++i)
+    for (std::size_t j = 0; j < src.cols(); ++j) dst(i, j) = src(i, j);
+}
+
+void fill(MatrixView v, double value) {
+  for (std::size_t i = 0; i < v.rows(); ++i)
+    for (std::size_t j = 0; j < v.cols(); ++j) v(i, j) = value;
+}
+
+}  // namespace abftc::abft

@@ -1,0 +1,149 @@
+#pragma once
+/// \file matrix.hpp
+/// Dense double-precision matrices for the ABFT kernels. Row-major owning
+/// Matrix plus lightweight strided views so the blocked algorithms can
+/// operate on sub-blocks without copies.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace abftc::abft {
+
+class Matrix;
+
+/// Non-owning mutable view of a sub-block (row-major, leading dimension ld).
+class MatrixView {
+ public:
+  MatrixView(double* data, std::size_t rows, std::size_t cols, std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    ABFTC_REQUIRE(ld >= cols, "leading dimension must cover the row");
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
+  [[nodiscard]] double* data() const noexcept { return data_; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * ld_ + j];
+  }
+
+  /// Sub-view [r0, r0+nr) × [c0, c0+nc).
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) const {
+    ABFTC_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_,
+                  "sub-view out of range");
+    return MatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+ private:
+  double* data_;
+  std::size_t rows_, cols_, ld_;
+};
+
+/// Non-owning read-only view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    ABFTC_REQUIRE(ld >= cols, "leading dimension must cover the row");
+  }
+  ConstMatrixView(MatrixView v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t ld() const noexcept { return ld_; }
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * ld_ + j];
+  }
+
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0,
+                                      std::size_t nr, std::size_t nc) const {
+    ABFTC_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_,
+                  "sub-view out of range");
+    return ConstMatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+ private:
+  const double* data_;
+  std::size_t rows_, cols_, ld_;
+};
+
+/// Owning row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] MatrixView view() {
+    return MatrixView(data_.data(), rows_, cols_, cols_);
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+  }
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0,
+                                      std::size_t nr, std::size_t nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  [[nodiscard]] std::vector<double>& storage() noexcept { return data_; }
+  [[nodiscard]] const std::vector<double>& storage() const noexcept {
+    return data_;
+  }
+
+  // Generators -------------------------------------------------------------
+  [[nodiscard]] static Matrix zeros(std::size_t rows, std::size_t cols);
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Entries uniform in [-1, 1].
+  [[nodiscard]] static Matrix random(std::size_t rows, std::size_t cols,
+                                     common::Rng& rng);
+  /// Random strictly diagonally dominant matrix (LU without pivoting is
+  /// numerically stable on these — the standard ABFT-LU demo class).
+  [[nodiscard]] static Matrix diag_dominant(std::size_t n, common::Rng& rng);
+  /// Random symmetric positive definite matrix (B·Bᵀ + n·I).
+  [[nodiscard]] static Matrix spd(std::size_t n, common::Rng& rng);
+
+  // Reductions ---------------------------------------------------------------
+  [[nodiscard]] double frobenius_norm() const;
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// max |a - b| over all entries (shape must match).
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// ||a − b||_F / (||b||_F + tiny): relative error for verification.
+[[nodiscard]] double relative_error(const Matrix& a, const Matrix& b);
+
+/// Copy `src` into `dst` (shapes must match).
+void copy_into(ConstMatrixView src, MatrixView dst);
+
+/// Fill a view with a constant (used to wipe "lost" blocks).
+void fill(MatrixView v, double value);
+
+}  // namespace abftc::abft

@@ -1,0 +1,5 @@
+#include "abft/version.hpp"
+
+namespace abftc::abft {
+const char* module_name() noexcept { return "abftc.abft"; }
+}  // namespace abftc::abft

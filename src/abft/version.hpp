@@ -1,0 +1,5 @@
+#pragma once
+namespace abftc::abft {
+/// Module identification (also keeps the static library non-empty).
+const char* module_name() noexcept;
+}  // namespace abftc::abft

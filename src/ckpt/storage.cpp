@@ -1,0 +1,63 @@
+#include "ckpt/storage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace abftc::ckpt {
+
+void StorageModel::validate() const {
+  ABFTC_REQUIRE(node_bandwidth >= 0.0, "node bandwidth must be >= 0");
+  ABFTC_REQUIRE(aggregate_bandwidth >= 0.0, "aggregate bandwidth must be >= 0");
+  ABFTC_REQUIRE(latency >= 0.0, "latency must be >= 0");
+  ABFTC_REQUIRE(read_speedup > 0.0, "read speedup must be positive");
+  ABFTC_REQUIRE(node_bandwidth > 0.0 || aggregate_bandwidth > 0.0,
+                "storage needs at least one finite bandwidth");
+}
+
+double StorageModel::write_time(double total_bytes, std::size_t nodes) const {
+  validate();
+  ABFTC_REQUIRE(total_bytes >= 0.0, "bytes must be non-negative");
+  ABFTC_REQUIRE(nodes > 0, "need at least one node");
+  double t = latency;
+  if (node_bandwidth > 0.0)
+    t = std::max(t, latency + total_bytes / static_cast<double>(nodes) /
+                                 node_bandwidth);
+  if (aggregate_bandwidth > 0.0)
+    t = std::max(t, latency + total_bytes / aggregate_bandwidth);
+  return t;
+}
+
+double StorageModel::read_time(double total_bytes, std::size_t nodes) const {
+  return latency +
+         (write_time(total_bytes, nodes) - latency) / read_speedup;
+}
+
+StorageModel remote_pfs(double aggregate_bytes_per_s, double latency) {
+  ABFTC_REQUIRE(aggregate_bytes_per_s > 0.0, "bandwidth must be positive");
+  StorageModel m;
+  m.name = "remote-pfs";
+  m.aggregate_bandwidth = aggregate_bytes_per_s;
+  m.latency = latency;
+  return m;
+}
+
+StorageModel buddy_store(double link_bytes_per_s, double latency) {
+  ABFTC_REQUIRE(link_bytes_per_s > 0.0, "bandwidth must be positive");
+  StorageModel m;
+  m.name = "buddy";
+  m.node_bandwidth = link_bytes_per_s;
+  m.latency = latency;
+  return m;
+}
+
+StorageModel local_nvram(double device_bytes_per_s, double latency) {
+  ABFTC_REQUIRE(device_bytes_per_s > 0.0, "bandwidth must be positive");
+  StorageModel m;
+  m.name = "nvram";
+  m.node_bandwidth = device_bytes_per_s;
+  m.latency = latency;
+  return m;
+}
+
+}  // namespace abftc::ckpt

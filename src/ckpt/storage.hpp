@@ -1,0 +1,52 @@
+#pragma once
+/// \file storage.hpp
+/// Checkpoint storage timing models (Section V-C hypotheses).
+///
+/// The paper contrasts two regimes: a *remote* stable store whose aggregate
+/// bandwidth is a bottleneck (checkpoint time grows with the total memory,
+/// Figs 8–9) and scalable *buddy / in-node* storage whose cost is constant
+/// in the node count (Fig 10, citing FTC-Charm++ and SCR-style systems).
+/// A StorageModel converts (bytes, nodes) into C/R durations;
+/// core::ckpt_from_storage() bridges it to the model-layer CheckpointParams.
+
+#include <cstddef>
+#include <string>
+
+namespace abftc::ckpt {
+
+/// Bandwidth/latency description of a checkpoint target.
+struct StorageModel {
+  std::string name = "custom";
+  /// Per-node link bandwidth in bytes/s (0 = unlimited).
+  double node_bandwidth = 0.0;
+  /// Aggregate backend bandwidth in bytes/s shared by all nodes
+  /// (0 = unlimited; this is what makes remote PFS checkpointing non-scalable).
+  double aggregate_bandwidth = 0.0;
+  /// Fixed protocol latency per operation in seconds (coordination, metadata).
+  double latency = 0.0;
+  /// Read bandwidth multiplier for recovery (1.0: R behaves like C).
+  double read_speedup = 1.0;
+
+  /// Time to write `total_bytes` spread evenly across `nodes`.
+  [[nodiscard]] double write_time(double total_bytes, std::size_t nodes) const;
+  /// Time to read it back at recovery.
+  [[nodiscard]] double read_time(double total_bytes, std::size_t nodes) const;
+
+  void validate() const;
+};
+
+/// A remote parallel filesystem: aggregate bandwidth dominates, so the
+/// checkpoint cost grows linearly with the total application memory.
+[[nodiscard]] StorageModel remote_pfs(double aggregate_bytes_per_s,
+                                      double latency = 1.0);
+
+/// Buddy (partner-node) in-memory checkpointing: each node streams to its
+/// partner over the interconnect; the cost depends only on bytes/node.
+[[nodiscard]] StorageModel buddy_store(double link_bytes_per_s,
+                                       double latency = 0.1);
+
+/// Node-local NVRAM: very high per-node bandwidth, negligible latency.
+[[nodiscard]] StorageModel local_nvram(double device_bytes_per_s,
+                                       double latency = 0.01);
+
+}  // namespace abftc::ckpt

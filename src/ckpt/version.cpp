@@ -1,0 +1,5 @@
+#include "ckpt/version.hpp"
+
+namespace abftc::ckpt {
+const char* module_name() noexcept { return "abftc.ckpt"; }
+}  // namespace abftc::ckpt

@@ -1,0 +1,78 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace abftc::common {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  ABFTC_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";  // bare switch
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  std::string def) const {
+  if (auto v = raw(name)) return *v;
+  return def;
+}
+
+double ArgParser::get_double(const std::string& name, double def) const {
+  if (auto v = raw(name)) {
+    char* end = nullptr;
+    const double d = std::strtod(v->c_str(), &end);
+    ABFTC_REQUIRE(end && *end == '\0' && !v->empty(),
+                  "--" + name + " expects a number, got '" + *v + "'");
+    return d;
+  }
+  return def;
+}
+
+long long ArgParser::get_int(const std::string& name, long long def) const {
+  if (auto v = raw(name)) {
+    char* end = nullptr;
+    const long long i = std::strtoll(v->c_str(), &end, 10);
+    ABFTC_REQUIRE(end && *end == '\0' && !v->empty(),
+                  "--" + name + " expects an integer, got '" + *v + "'");
+    return i;
+  }
+  return def;
+}
+
+bool ArgParser::get_bool(const std::string& name, bool def) const {
+  if (auto v = raw(name)) {
+    if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on")
+      return true;
+    if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+    ABFTC_REQUIRE(false, "--" + name + " expects a boolean, got '" + *v + "'");
+  }
+  return def;
+}
+
+}  // namespace abftc::common

@@ -1,0 +1,40 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal command-line option parsing for the bench/example binaries.
+/// Accepts `--key=value`, `--key value` and bare `--flag` switches.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace abftc::common {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if --name was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] long long get_int(const std::string& name, long long def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non --) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace abftc::common

@@ -1,0 +1,16 @@
+#pragma once
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3 polynomial) used to verify checkpoint image integrity.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace abftc::common {
+
+/// CRC-32 of a byte range; `seed` allows incremental computation by passing
+/// the previous result.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data,
+                                  std::uint32_t seed = 0);
+
+}  // namespace abftc::common

@@ -1,0 +1,43 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace abftc::common {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire-style rejection-free-ish bounded draw with rejection to kill bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(r) * n;
+    if (static_cast<std::uint64_t>(m) >= threshold)
+      return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF: -mean * ln(U), U in (0,1].
+  return -mean * std::log(uniform01_open_low());
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  // Inverse CDF: scale * (-ln U)^(1/shape).
+  return scale * std::pow(-std::log(uniform01_open_low()), 1.0 / shape);
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) noexcept {
+  return std::exp(mu_log + sigma_log * normal());
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; we deliberately discard the second variate to keep the
+  // generator stateless (reproducibility across call interleavings).
+  const double u1 = uniform01_open_low();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace abftc::common

@@ -1,0 +1,106 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, splittable pseudo-random generation.
+///
+/// Simulation results must be reproducible across platforms and across
+/// thread counts, so we do not use std::mt19937 / std::*_distribution
+/// (whose algorithms are implementation-defined for some distributions).
+/// Instead we ship xoshiro256** seeded through splitmix64, plus exact
+/// inverse-CDF samplers for the distributions the simulator needs.
+///
+/// `Rng::split(stream)` derives an independent child generator for a given
+/// stream index: Monte-Carlo replicate k always consumes the same random
+/// sequence no matter how replicates are scheduled over threads.
+
+#include <cstdint>
+#include <limits>
+
+namespace abftc::common {
+
+/// splitmix64: used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast high-quality 64-bit PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent generator for stream index `stream`.
+  /// Children of distinct (seed, stream) pairs are statistically independent.
+  [[nodiscard]] Rng split(std::uint64_t stream) const noexcept {
+    std::uint64_t mix = s_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(mix ^ (s_[1] + stream));
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 significant bits.
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as input to log().
+  [[nodiscard]] double uniform01_open_low() noexcept {
+    return 1.0 - uniform01();
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Exponential with the given mean (inverse-CDF; exact and portable).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Weibull with shape k and scale lambda.
+  [[nodiscard]] double weibull(double shape, double scale) noexcept;
+
+  /// Log-normal: exp(N(mu_log, sigma_log^2)).
+  [[nodiscard]] double lognormal(double mu_log, double sigma_log) noexcept;
+
+  /// Standard normal via Box–Muller (stateless variant; one value per call).
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace abftc::common

@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace abftc::common {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  return 1.959964 * stderr_mean();
+}
+
+double Sample::quantile(double q) const {
+  ABFTC_REQUIRE(!xs_.empty(), "quantile of empty sample");
+  ABFTC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double Sample::mean() const {
+  ABFTC_REQUIRE(!xs_.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ABFTC_REQUIRE(hi > lo, "histogram range must be non-empty");
+  ABFTC_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long long>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<long long>(idx, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  ABFTC_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  ABFTC_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+}  // namespace abftc::common

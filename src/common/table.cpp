@@ -1,0 +1,109 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace abftc::common {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, 100.0 * fraction);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ABFTC_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  ABFTC_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  return add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << row[c];
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void print_grid(std::ostream& os, const std::string& title,
+                const std::string& x_label, const std::vector<double>& xs,
+                const std::string& y_label, const std::vector<double>& ys,
+                const std::vector<std::vector<double>>& values, int decimals) {
+  ABFTC_REQUIRE(values.size() == ys.size(), "grid row count must match ys");
+  for (const auto& row : values)
+    ABFTC_REQUIRE(row.size() == xs.size(), "grid column count must match xs");
+
+  os << "## " << title << '\n';
+  os << "rows: " << y_label << " (top = max), cols: " << x_label << '\n';
+  std::vector<std::string> headers;
+  headers.push_back(y_label + "\\" + x_label);
+  for (double x : xs) headers.push_back(fmt(x, 6));
+  Table t(std::move(headers));
+  for (std::size_t yi = ys.size(); yi-- > 0;) {
+    std::vector<std::string> cells;
+    cells.push_back(fmt(ys[yi], 6));
+    for (double v : values[yi]) cells.push_back(fmt_fixed(v, decimals));
+    t.add_row(std::move(cells));
+  }
+  t.print(os);
+}
+
+}  // namespace abftc::common

@@ -1,0 +1,46 @@
+#pragma once
+/// \file table.hpp
+/// Column-aligned text tables and heat-map grids for the bench harnesses.
+/// Every figure/table of the paper is regenerated as one of these, so the
+/// formatting is deliberately plain (terminal + machine-greppable CSV).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace abftc::common {
+
+/// A simple right-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with %.*g.
+  Table& add_row_values(const std::vector<double>& values, int precision = 5);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for Table cells).
+[[nodiscard]] std::string fmt(double v, int precision = 5);
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 1);
+
+/// Print a 2-D grid (heat map) of `values[yi][xi]` with axis labels,
+/// mirroring the paper's Figure 7 panels in text form.
+void print_grid(std::ostream& os, const std::string& title,
+                const std::string& x_label, const std::vector<double>& xs,
+                const std::string& y_label, const std::vector<double>& ys,
+                const std::vector<std::vector<double>>& values,
+                int decimals = 3);
+
+}  // namespace abftc::common

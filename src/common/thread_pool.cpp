@@ -1,0 +1,55 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abftc::common {
+
+unsigned effective_threads(unsigned threads) noexcept {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : hc;
+  }
+  return threads;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (n == 0) return;
+  threads = effective_threads(threads);
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const unsigned spawn = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n) - 1);
+  pool.reserve(spawn);
+  for (unsigned t = 0; t < spawn; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace abftc::common

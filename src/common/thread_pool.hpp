@@ -1,0 +1,22 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small work-sharing pool for embarrassingly parallel loops
+/// (Monte-Carlo replicates, block-parallel BLAS). Results stay
+/// deterministic because work items own their random streams.
+
+#include <cstddef>
+#include <functional>
+
+namespace abftc::common {
+
+/// Run `fn(i)` for i in [0, n) across up to `threads` workers.
+/// `threads == 0` means std::thread::hardware_concurrency().
+/// Exceptions thrown by `fn` are captured and the first one rethrown
+/// on the calling thread after the loop drains.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+/// The number of workers parallel_for would actually use for `threads`.
+[[nodiscard]] unsigned effective_threads(unsigned threads) noexcept;
+
+}  // namespace abftc::common

@@ -1,0 +1,30 @@
+#include "common/time_units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace abftc::common {
+
+std::string format_duration(double seconds_value) {
+  const double v = seconds_value;
+  const double a = std::fabs(v);
+  char buf[64];
+  if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", v * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", v * 1e3);
+  } else if (a < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.4gs", v);
+  } else if (a < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.4gmin", v / 60.0);
+  } else if (a < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.4gh", v / 3600.0);
+  } else if (a < 2.0 * 7 * 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.4gd", v / 86400.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gw", v / (7 * 86400.0));
+  }
+  return buf;
+}
+
+}  // namespace abftc::common

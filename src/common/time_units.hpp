@@ -1,0 +1,21 @@
+#pragma once
+/// \file time_units.hpp
+/// Time in this library is a plain `double` measured in **seconds**.
+/// These helpers make parameter definitions read like the paper
+/// ("C = R = 10 minutes", "T0 = 1 week").
+
+#include <string>
+
+namespace abftc::common {
+
+[[nodiscard]] constexpr double seconds(double s) noexcept { return s; }
+[[nodiscard]] constexpr double minutes(double m) noexcept { return m * 60.0; }
+[[nodiscard]] constexpr double hours(double h) noexcept { return h * 3600.0; }
+[[nodiscard]] constexpr double days(double d) noexcept { return d * 86400.0; }
+[[nodiscard]] constexpr double weeks(double w) noexcept { return w * 7.0 * 86400.0; }
+
+/// Render a duration with an adaptive unit ("90s" -> "1.5min", "1.0w", ...).
+/// Meant for tables and log lines, not for parsing.
+[[nodiscard]] std::string format_duration(double seconds_value);
+
+}  // namespace abftc::common

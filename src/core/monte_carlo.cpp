@@ -1,0 +1,90 @@
+#include "core/monte_carlo.hpp"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/failures.hpp"
+
+namespace abftc::core {
+
+namespace {
+
+std::unique_ptr<sim::InterArrival> make_distribution(
+    const MonteCarloOptions& opt, double mean) {
+  switch (opt.distribution) {
+    case FailureDistribution::Exponential:
+      return std::make_unique<sim::ExponentialArrivals>(mean);
+    case FailureDistribution::Weibull:
+      return std::make_unique<sim::WeibullArrivals>(
+          sim::WeibullArrivals::from_mean(opt.weibull_shape, mean));
+    case FailureDistribution::LogNormal:
+      return std::make_unique<sim::LogNormalArrivals>(mean, opt.lognormal_cv);
+  }
+  ABFTC_CHECK(false, "unknown failure distribution");
+}
+
+std::unique_ptr<sim::FailureClock> make_clock(const ScenarioParams& s,
+                                              const MonteCarloOptions& opt,
+                                              common::Rng rng) {
+  if (opt.per_node && s.platform.nodes > 1) {
+    const double per_node_mtbf =
+        s.platform.mtbf * static_cast<double>(s.platform.nodes);
+    return std::make_unique<sim::NodeFailureClock>(
+        make_distribution(opt, per_node_mtbf), s.platform.nodes, rng);
+  }
+  return std::make_unique<sim::AggregateFailureClock>(
+      make_distribution(opt, s.platform.mtbf), rng);
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo(Protocol p, const ScenarioParams& s,
+                             const ModelOptions& model_opt,
+                             const MonteCarloOptions& opt) {
+  ABFTC_REQUIRE(opt.replicates > 0, "need at least one replicate");
+  s.validate();
+
+  MonteCarloResult out;
+  const ProtocolPlan plan = make_plan(p, s, model_opt);
+  if (!plan.valid) {
+    out.plan_valid = false;
+    return out;
+  }
+
+  const common::Rng base(opt.seed);
+  std::mutex merge_mutex;
+
+  // Chunk replicates so each worker merges locally before taking the lock.
+  const unsigned workers = common::effective_threads(opt.threads);
+  const std::size_t chunks = std::max<std::size_t>(workers * 4, 1);
+  const std::size_t per_chunk = (opt.replicates + chunks - 1) / chunks;
+
+  common::parallel_for(
+      chunks,
+      [&](std::size_t chunk) {
+        const std::size_t lo = chunk * per_chunk;
+        const std::size_t hi = std::min(lo + per_chunk, opt.replicates);
+        if (lo >= hi) return;
+        MonteCarloResult local;
+        for (std::size_t rep = lo; rep < hi; ++rep) {
+          auto clock = make_clock(s, opt, base.split(rep));
+          const SimResult r = simulate_run(s, plan, *clock);
+          local.waste.add(r.waste());
+          local.t_final.add(r.t_final);
+          local.failures.add(static_cast<double>(r.failures));
+          local.lost_time.add(r.breakdown.lost);
+        }
+        std::lock_guard lock(merge_mutex);
+        out.waste.merge(local.waste);
+        out.t_final.merge(local.t_final);
+        out.failures.merge(local.failures);
+        out.lost_time.merge(local.lost_time);
+      },
+      opt.threads);
+  return out;
+}
+
+}  // namespace abftc::core

@@ -1,0 +1,68 @@
+#include "core/params.hpp"
+
+#include "common/time_units.hpp"
+
+namespace abftc::core {
+
+PlatformParams PlatformParams::from_individual(double mtbf_individual,
+                                               std::size_t node_count,
+                                               double downtime_s) {
+  ABFTC_REQUIRE(mtbf_individual > 0.0, "individual MTBF must be positive");
+  ABFTC_REQUIRE(node_count > 0, "node count must be positive");
+  PlatformParams p;
+  p.mtbf = mtbf_individual / static_cast<double>(node_count);
+  p.downtime = downtime_s;
+  p.nodes = node_count;
+  p.validate();
+  return p;
+}
+
+void PlatformParams::validate() const {
+  ABFTC_REQUIRE(mtbf > 0.0, "platform MTBF must be positive");
+  ABFTC_REQUIRE(downtime >= 0.0, "downtime must be non-negative");
+  ABFTC_REQUIRE(nodes > 0, "node count must be positive");
+}
+
+void CheckpointParams::validate() const {
+  ABFTC_REQUIRE(full_cost >= 0.0, "checkpoint cost must be non-negative");
+  ABFTC_REQUIRE(full_recovery >= 0.0, "recovery cost must be non-negative");
+  ABFTC_REQUIRE(rho >= 0.0 && rho <= 1.0, "rho must be in [0,1]");
+}
+
+void AbftParams::validate() const {
+  ABFTC_REQUIRE(phi >= 1.0, "phi must be >= 1 (ABFT adds overhead)");
+  ABFTC_REQUIRE(recons >= 0.0, "reconstruction time must be non-negative");
+}
+
+void EpochParams::validate() const {
+  ABFTC_REQUIRE(duration > 0.0, "epoch duration must be positive");
+  ABFTC_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+}
+
+void ScenarioParams::validate() const {
+  platform.validate();
+  ckpt.validate();
+  abft.validate();
+  epoch.validate();
+  ABFTC_REQUIRE(epochs > 0, "scenario needs at least one epoch");
+}
+
+ScenarioParams figure7_scenario(double mtbf_seconds, double alpha) {
+  using namespace abftc::common;
+  ScenarioParams s;
+  s.platform.mtbf = mtbf_seconds;
+  s.platform.downtime = minutes(1);
+  s.platform.nodes = 1;  // the figure sweeps platform-level MTBF directly
+  s.ckpt.full_cost = minutes(10);
+  s.ckpt.full_recovery = minutes(10);
+  s.ckpt.rho = 0.8;
+  s.abft.phi = 1.03;
+  s.abft.recons = seconds(2);
+  s.epoch.duration = weeks(1);
+  s.epoch.alpha = alpha;
+  s.epochs = 1;
+  s.validate();
+  return s;
+}
+
+}  // namespace abftc::core

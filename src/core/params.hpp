@@ -1,0 +1,94 @@
+#pragma once
+/// \file params.hpp
+/// The parameter vocabulary of Section IV-A of the paper:
+///
+///   µ (mtbf)       platform mean time between failures; for N identical
+///                  nodes of individual MTBF µ_ind, µ = µ_ind / N.
+///   D (downtime)   time to reboot / swap in a spare after a failure.
+///   C, R           full coordinated checkpoint cost and recovery cost.
+///   ρ (rho)        fraction of application memory touched by the LIBRARY
+///                  phase: M_L = ρ·M, hence C_L = ρ·C and C_L̄ = (1−ρ)·C.
+///   φ (phi)        ABFT slow-down factor: t time-units of library work take
+///                  φ·t under ABFT protection (φ ≳ 1, typically 1.03).
+///   Recons_ABFT    time to reconstruct the lost LIBRARY dataset from the
+///                  ABFT checksums after a failure.
+///   T0, α          epoch duration and the fraction of it spent in the
+///                  LIBRARY phase: T_L = α·T0, T_G = (1−α)·T0.
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace abftc::core {
+
+/// Failure characteristics of the machine (Section IV-B2).
+struct PlatformParams {
+  double mtbf = 0.0;      ///< µ: platform-level MTBF in seconds (> 0)
+  double downtime = 0.0;  ///< D: reboot / spare-swap time in seconds (>= 0)
+  std::size_t nodes = 1;  ///< informational; µ already aggregates the nodes
+
+  /// Build platform parameters from a per-node MTBF: µ = µ_ind / N.
+  [[nodiscard]] static PlatformParams from_individual(double mtbf_individual,
+                                                      std::size_t node_count,
+                                                      double downtime_s);
+  void validate() const;
+};
+
+/// Checkpoint cost structure (Section IV-A).
+struct CheckpointParams {
+  double full_cost = 0.0;      ///< C: coordinated checkpoint of all of M
+  double full_recovery = 0.0;  ///< R: reload of a full checkpoint
+  double rho = 0.0;            ///< ρ ∈ [0,1]: LIBRARY fraction of memory
+
+  [[nodiscard]] double library_cost() const noexcept {  ///< C_L = ρC
+    return rho * full_cost;
+  }
+  [[nodiscard]] double remainder_cost() const noexcept {  ///< C_L̄ = (1−ρ)C
+    return (1.0 - rho) * full_cost;
+  }
+  /// R_L̄: reload of the REMAINDER dataset only (paper: often = C_L̄).
+  [[nodiscard]] double remainder_recovery() const noexcept {
+    return (1.0 - rho) * full_recovery;
+  }
+  void validate() const;
+};
+
+/// ABFT protection characteristics (Section IV-B1/2).
+struct AbftParams {
+  double phi = 1.0;     ///< φ >= 1: per-time-unit ABFT overhead factor
+  double recons = 0.0;  ///< Recons_ABFT: checksum reconstruction time
+  void validate() const;
+};
+
+/// One epoch: a GENERAL phase followed by a LIBRARY phase (Figure 1).
+struct EpochParams {
+  double duration = 0.0;  ///< T0 = T_G + T_L, in seconds of *useful* work
+  double alpha = 0.0;     ///< α ∈ [0,1]: T_L = α·T0
+
+  [[nodiscard]] double library() const noexcept { return alpha * duration; }
+  [[nodiscard]] double general() const noexcept {
+    return (1.0 - alpha) * duration;
+  }
+  void validate() const;
+};
+
+/// A complete experiment scenario: platform + checkpoint + ABFT + workload.
+struct ScenarioParams {
+  PlatformParams platform;
+  CheckpointParams ckpt;
+  AbftParams abft;
+  EpochParams epoch;
+  std::size_t epochs = 1;  ///< number of identical epochs in the run
+
+  [[nodiscard]] double total_work() const noexcept {
+    return static_cast<double>(epochs) * epoch.duration;
+  }
+  void validate() const;
+};
+
+/// The exact configuration of the paper's Figure 7 panels:
+/// T0 = 1 week, C = R = 10 min, D = 1 min, ρ = 0.8, φ = 1.03, Recons = 2 s.
+[[nodiscard]] ScenarioParams figure7_scenario(double mtbf_seconds,
+                                              double alpha);
+
+}  // namespace abftc::core

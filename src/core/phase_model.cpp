@@ -1,0 +1,142 @@
+#include "core/phase_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace abftc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The Eq. (4)/(5) fixed point: T_final = T_ff + (T_final/µ)·t_lost.
+/// Solves to T_ff / (1 − t_lost/µ); diverges when t_lost >= µ.
+PhaseOutcome fixed_point(double work, double t_ff, double t_lost,
+                         double mtbf) {
+  PhaseOutcome out;
+  out.work = work;
+  out.t_ff = t_ff;
+  out.t_lost = t_lost;
+  if (t_lost >= mtbf) {
+    out.diverged = true;
+    out.t_final = kInf;
+  } else {
+    out.t_final = t_ff / (1.0 - t_lost / mtbf);
+  }
+  return out;
+}
+
+}  // namespace
+
+PhaseOutcome& PhaseOutcome::operator+=(const PhaseOutcome& o) noexcept {
+  work += o.work;
+  t_ff += o.t_ff;
+  t_final += o.t_final;
+  diverged = diverged || o.diverged;
+  if (diverged) t_final = kInf;
+  return *this;
+}
+
+PhaseOutcome periodic_phase(double work, double period, double ckpt_cost,
+                            double recovery, double downtime, double mtbf) {
+  ABFTC_REQUIRE(work >= 0.0, "work must be non-negative");
+  ABFTC_REQUIRE(period > ckpt_cost,
+                "period must exceed the checkpoint cost (W = P - C > 0)");
+  ABFTC_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  // Eq. (1): T_ff = work / (P − C) · P  (work/(P−C) periods of length P).
+  const double t_ff = work / (period - ckpt_cost) * period;
+  // Eq. (7): on average half a period of work is lost, plus D + R.
+  const double t_lost = downtime + recovery + period / 2.0;
+  PhaseOutcome out = fixed_point(work, t_ff, t_lost, mtbf);
+  out.period = period;
+  return out;
+}
+
+PhaseOutcome single_segment_phase(double work, double trailing_ckpt,
+                                  double recovery, double downtime,
+                                  double mtbf) {
+  ABFTC_REQUIRE(work >= 0.0, "work must be non-negative");
+  ABFTC_REQUIRE(trailing_ckpt >= 0.0, "checkpoint cost must be non-negative");
+  ABFTC_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  // Eq. (9): the whole segment restarts on failure; the expected loss is
+  // half the fault-free segment length.
+  const double t_ff = work + trailing_ckpt;
+  const double t_lost = downtime + recovery + t_ff / 2.0;
+  return fixed_point(work, t_ff, t_lost, mtbf);
+}
+
+PhaseOutcome abft_phase(double library_work, double phi, double exit_ckpt,
+                        double remainder_recovery, double recons,
+                        double downtime, double mtbf) {
+  ABFTC_REQUIRE(library_work >= 0.0, "work must be non-negative");
+  ABFTC_REQUIRE(phi >= 1.0, "phi must be >= 1");
+  ABFTC_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  // Eq. (2): T_ff = φ·T_L + C_L.  Eq. (8): t_lost = D + R_L̄ + Recons —
+  // ABFT recovery loses no computed work.
+  const double t_ff = phi * library_work + exit_ckpt;
+  const double t_lost = downtime + remainder_recovery + recons;
+  return fixed_point(library_work, t_ff, t_lost, mtbf);
+}
+
+std::optional<double> optimal_period_first_order(double ckpt_cost, double mtbf,
+                                                 double downtime,
+                                                 double recovery) {
+  ABFTC_REQUIRE(ckpt_cost >= 0.0, "checkpoint cost must be non-negative");
+  ABFTC_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  const double slack = mtbf - downtime - recovery;
+  if (slack <= 0.0) return std::nullopt;
+  // Eq. (11): P_opt = sqrt(2C(µ − D − R)); clamp above C so W > 0.
+  const double p = std::sqrt(2.0 * ckpt_cost * slack);
+  const double min_p = ckpt_cost * (1.0 + 1e-9) + 1e-12;
+  return std::max(p, min_p);
+}
+
+std::optional<double> optimal_period_exact(double ckpt_cost, double mtbf,
+                                           double downtime, double recovery) {
+  ABFTC_REQUIRE(ckpt_cost >= 0.0, "checkpoint cost must be non-negative");
+  ABFTC_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  const double slack = mtbf - downtime - recovery;
+  if (slack <= 0.0) return std::nullopt;
+
+  // Cost per unit of work, to be minimized over P (from Eq. 10):
+  //   f(P) = [P / (P − C)] · [1 / (1 − (D + R + P/2)/µ)]
+  // valid for C < P < 2(µ − D − R). f is unimodal on that interval.
+  auto cost = [&](double p) {
+    const double t_lost = downtime + recovery + p / 2.0;
+    if (t_lost >= mtbf) return kInf;
+    if (p <= ckpt_cost) return kInf;
+    return (p / (p - ckpt_cost)) / (1.0 - t_lost / mtbf);
+  };
+
+  double lo = ckpt_cost * (1.0 + 1e-9) + 1e-12;
+  double hi = 2.0 * slack * (1.0 - 1e-12);
+  if (hi <= lo) return std::nullopt;
+
+  constexpr double golden = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - golden * (b - a);
+  double x2 = a + golden * (b - a);
+  double f1 = cost(x1), f2 = cost(x2);
+  for (int it = 0; it < 200 && (b - a) > 1e-10 * (1.0 + b); ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - golden * (b - a);
+      f1 = cost(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + golden * (b - a);
+      f2 = cost(x2);
+    }
+  }
+  const double p = 0.5 * (a + b);
+  if (!std::isfinite(cost(p))) return std::nullopt;
+  return p;
+}
+
+}  // namespace abftc::core

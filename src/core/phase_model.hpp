@@ -1,0 +1,81 @@
+#pragma once
+/// \file phase_model.hpp
+/// First-order analytical building blocks of Section IV-B.
+///
+/// Every protocol model is assembled from three phase primitives:
+///  * a periodically checkpointed stream of work (Eq. 1, 4, 7, 10),
+///  * a single unprotected segment closed by one checkpoint (Eq. 9), and
+///  * an ABFT-protected library phase (Eq. 2, 5, 8).
+///
+/// Each primitive returns a PhaseOutcome: the fault-free time, the expected
+/// time under failures (the fixed point T_final = T_ff / (1 − t_lost/µ)),
+/// and an overhead breakdown. When t_lost >= µ the fixed point diverges —
+/// the platform cannot make steady progress — and we report waste = 1.
+
+#include <optional>
+
+namespace abftc::core {
+
+/// Result of running `work` seconds of useful computation under a
+/// fault-tolerance mechanism on a platform with MTBF µ.
+struct PhaseOutcome {
+  double work = 0.0;      ///< useful seconds the phase must advance
+  double t_ff = 0.0;      ///< fault-free wall-clock time (Eq. 1/2/9)
+  double t_final = 0.0;   ///< expected wall-clock time with failures
+  double t_lost = 0.0;    ///< expected time lost per failure (Eq. 6/7)
+  double period = 0.0;    ///< checkpoint period in effect (0: none)
+  bool diverged = false;  ///< t_lost >= µ: no steady progress possible
+
+  /// Fraction of the final time that does not advance the application.
+  [[nodiscard]] double waste() const noexcept {
+    if (diverged || t_final <= 0.0) return 1.0;
+    return 1.0 - work / t_final;
+  }
+  [[nodiscard]] double expected_failures(double mtbf) const noexcept {
+    return diverged ? 0.0 : t_final / mtbf;
+  }
+  /// Checkpoint (and φ) overhead already present without failures.
+  [[nodiscard]] double ff_overhead() const noexcept { return t_ff - work; }
+
+  /// Combine sequential phases (times add; waste recomputed by caller).
+  PhaseOutcome& operator+=(const PhaseOutcome& o) noexcept;
+};
+
+/// Work executed as periods of (P − C) computation + C checkpoint; a failure
+/// loses on average D + R + P/2 (Eq. 7) and the fixed point Eq. (10) gives
+/// the final time. Requires period > ckpt_cost.
+[[nodiscard]] PhaseOutcome periodic_phase(double work, double period,
+                                          double ckpt_cost, double recovery,
+                                          double downtime, double mtbf);
+
+/// Work executed as one unprotected segment closed by `trailing_ckpt`;
+/// a failure restarts the segment: t_lost = D + R + T_ff/2 (Eq. 6/9).
+[[nodiscard]] PhaseOutcome single_segment_phase(double work,
+                                                double trailing_ckpt,
+                                                double recovery,
+                                                double downtime, double mtbf);
+
+/// ABFT-protected library phase: T_ff = φ·T_L + C_L (Eq. 2); a failure
+/// loses NO work — only D + R_L̄ + Recons_ABFT (Eq. 8).
+[[nodiscard]] PhaseOutcome abft_phase(double library_work, double phi,
+                                      double exit_ckpt,
+                                      double remainder_recovery,
+                                      double recons, double downtime,
+                                      double mtbf);
+
+/// Young/Daly first-order optimal period, Eq. (11): √(2C(µ−D−R)).
+/// Returns nullopt when µ <= D + R (no period yields steady progress) and
+/// clamps the result to be strictly larger than C.
+[[nodiscard]] std::optional<double> optimal_period_first_order(
+    double ckpt_cost, double mtbf, double downtime, double recovery);
+
+/// Exact numeric optimum of the period: minimizes the Eq. (10) fixed point
+/// by golden-section search over (C, 2(µ−D−R)]. Agrees with Eq. (11) to
+/// first order (tests assert this); used when µ is small, where the √
+/// formula leaves its validity range.
+[[nodiscard]] std::optional<double> optimal_period_exact(double ckpt_cost,
+                                                         double mtbf,
+                                                         double downtime,
+                                                         double recovery);
+
+}  // namespace abftc::core

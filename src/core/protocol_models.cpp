@@ -1,0 +1,233 @@
+#include "core/protocol_models.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace abftc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::optional<double> pick_period(double ckpt_cost, const ScenarioParams& s,
+                                  const ModelOptions& opt) {
+  if (ckpt_cost <= 0.0) return std::nullopt;  // checkpoints are free: see below
+  return opt.exact_period
+             ? optimal_period_exact(ckpt_cost, s.platform.mtbf,
+                                    s.platform.downtime, s.ckpt.full_recovery)
+             : optimal_period_first_order(ckpt_cost, s.platform.mtbf,
+                                          s.platform.downtime,
+                                          s.ckpt.full_recovery);
+}
+
+ProtocolResult make_diverged(Protocol p, double work) {
+  ProtocolResult r;
+  r.protocol = p;
+  r.work = work;
+  r.t_ff = kInf;
+  r.t_final = kInf;
+  r.diverged = true;
+  return r;
+}
+
+/// A work stream protected by periodic checkpoints of cost `ckpt`, falling
+/// back to a single segment (closed by `tail_ckpt`) when the stream is
+/// shorter than one period.
+PhaseOutcome protected_stream(double work, std::optional<double> period,
+                              double ckpt, double tail_ckpt,
+                              const ScenarioParams& s) {
+  const double mu = s.platform.mtbf;
+  const double d = s.platform.downtime;
+  const double r = s.ckpt.full_recovery;
+  if (period && work >= *period) {
+    return periodic_phase(work, *period, ckpt, r, d, mu);
+  }
+  return single_segment_phase(work, tail_ckpt, r, d, mu);
+}
+
+ProtocolResult finalize(ProtocolResult r, const ScenarioParams& s) {
+  const double n = static_cast<double>(s.epochs);
+  r.diverged = r.general.diverged || r.library.diverged;
+  if (r.diverged) {
+    r.t_ff = kInf;
+    r.t_final = kInf;
+  } else {
+    r.t_ff = n * (r.general.t_ff + r.library.t_ff);
+    r.t_final = n * (r.general.t_final + r.library.t_final);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string_view to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::PurePeriodicCkpt:
+      return "PurePeriodicCkpt";
+    case Protocol::BiPeriodicCkpt:
+      return "BiPeriodicCkpt";
+    case Protocol::AbftPeriodicCkpt:
+      return "ABFT&PeriodicCkpt";
+  }
+  return "?";
+}
+
+ProtocolResult evaluate_pure(const ScenarioParams& s, const ModelOptions& opt) {
+  s.validate();
+  const double work = s.total_work();
+  ProtocolResult r;
+  r.protocol = Protocol::PurePeriodicCkpt;
+  r.work = work;
+
+  // §IV-C: α treated as 0 — one periodic-checkpoint stream over everything,
+  // with the epoch structure invisible to the protocol.
+  const auto period = pick_period(s.ckpt.full_cost, s, opt);
+  if (!period && s.ckpt.full_cost > 0.0)
+    return make_diverged(Protocol::PurePeriodicCkpt, work);
+  if (s.ckpt.full_cost <= 0.0) {
+    // Degenerate free-checkpoint platform: checkpoint continuously, so a
+    // failure loses only D + R (used by tests as a limit case).
+    PhaseOutcome all;
+    all.work = work;
+    all.t_ff = work;
+    all.t_lost = s.platform.downtime + s.ckpt.full_recovery;
+    if (all.t_lost >= s.platform.mtbf) {
+      all.diverged = true;
+      all.t_final = kInf;
+    } else {
+      all.t_final = all.t_ff / (1.0 - all.t_lost / s.platform.mtbf);
+    }
+    r.general = all;
+    r.t_ff = all.t_ff;
+    r.t_final = all.t_final;
+    r.diverged = all.diverged;
+    return r;
+  }
+  r.period_general = r.period_library = *period;
+  PhaseOutcome all =
+      protected_stream(work, period, s.ckpt.full_cost, 0.0, s);
+  r.general = all;  // report the whole stream under "general"
+  r.diverged = all.diverged;
+  r.t_ff = all.diverged ? kInf : all.t_ff;
+  r.t_final = all.diverged ? kInf : all.t_final;
+  return r;
+}
+
+ProtocolResult evaluate_bi(const ScenarioParams& s, const ModelOptions& opt) {
+  s.validate();
+  ProtocolResult r;
+  r.protocol = Protocol::BiPeriodicCkpt;
+  r.work = s.total_work();
+
+  const double tg = s.epoch.general();
+  const double tl = s.epoch.library();
+  const auto pg = pick_period(s.ckpt.full_cost, s, opt);
+  // Eq. (14): the LIBRARY phase uses incremental checkpoints of cost C_L,
+  // but recovery still reloads the full dataset (cost R).
+  const auto pl = pick_period(s.ckpt.library_cost(), s, opt);
+
+  const bool general_long = tg <= 0.0 || (pg && tg >= *pg);
+  const bool library_long = tl <= 0.0 || (pl && tl >= *pl);
+  if (general_long && library_long) {
+    // Long phases: each phase runs its own optimal period (Eq. 13/14).
+    r.period_general = pg.value_or(0.0);
+    r.period_library = pl.value_or(0.0);
+    if (tg > 0.0)
+      r.general = periodic_phase(tg, *pg, s.ckpt.full_cost,
+                                 s.ckpt.full_recovery, s.platform.downtime,
+                                 s.platform.mtbf);
+    if (tl > 0.0)
+      r.library = periodic_phase(tl, *pl, s.ckpt.library_cost(),
+                                 s.ckpt.full_recovery, s.platform.downtime,
+                                 s.platform.mtbf);
+    return finalize(r, s);
+  }
+
+  // Short phases: the periodic clock runs *across* epochs (Figure 6 shows a
+  // continuous execution); a checkpoint falls in a GENERAL phase with
+  // probability (1−α) and costs C, in a LIBRARY phase with probability α
+  // and costs only C_L — so the stream behaves like PurePeriodicCkpt with
+  // the averaged checkpoint cost. Recovery always reloads everything (R).
+  const double avg_ckpt = (1.0 - s.epoch.alpha) * s.ckpt.full_cost +
+                          s.epoch.alpha * s.ckpt.library_cost();
+  const auto pavg = pick_period(avg_ckpt, s, opt);
+  if (!pavg && avg_ckpt > 0.0)
+    return make_diverged(Protocol::BiPeriodicCkpt, r.work);
+  r.bi_stream = true;
+  r.stream_ckpt = avg_ckpt;
+  r.period_general = r.period_library = pavg.value_or(0.0);
+  PhaseOutcome all = protected_stream(r.work, pavg, avg_ckpt, 0.0, s);
+  r.general = all;
+  r.diverged = all.diverged;
+  r.t_ff = all.diverged ? kInf : all.t_ff;
+  r.t_final = all.diverged ? kInf : all.t_final;
+  return r;
+}
+
+ProtocolResult evaluate_composite(const ScenarioParams& s,
+                                  const ModelOptions& opt) {
+  s.validate();
+  ProtocolResult r;
+  r.protocol = Protocol::AbftPeriodicCkpt;
+  r.work = s.total_work();
+
+  const double tg = s.epoch.general();
+  const double tl = s.epoch.library();
+  const double mu = s.platform.mtbf;
+  const double d = s.platform.downtime;
+  const auto pg = pick_period(s.ckpt.full_cost, s, opt);
+  r.period_general = pg.value_or(0.0);
+
+  // §III-B safeguard: engage ABFT only when the projected ABFT-protected
+  // library duration reaches the optimal checkpointing interval. When the
+  // periodic approach cannot progress at all (no valid period), ABFT is
+  // always engaged. If the safeguard keeps ABFT off, "the algorithm
+  // automatically resorts to the BiPeriodicCkpt protocol" (Section V-C).
+  bool abft_on = tl > 0.0;
+  if (opt.safeguard && abft_on && pg)
+    abft_on = s.abft.phi * tl >= *pg;
+  if (tl > 0.0 && !abft_on) {
+    r = evaluate_bi(s, opt);
+    r.protocol = Protocol::AbftPeriodicCkpt;
+    r.abft_active = false;
+    return r;
+  }
+  r.abft_active = abft_on;
+
+  // GENERAL phase (§IV-B1): periodic when T_G >= P_G (the last periodic
+  // checkpoint subsumes the entry partial checkpoint); otherwise a single
+  // segment closed by the forced entry checkpoint C_L̄.
+  if (pg && tg >= *pg) {
+    r.general = periodic_phase(tg, *pg, s.ckpt.full_cost,
+                               s.ckpt.full_recovery, d, mu);
+  } else {
+    // When ABFT is off there is no mode switch, so close with a full C
+    // (same convention as BiPeriodicCkpt); with ABFT on, C_L̄ suffices.
+    const double tail = abft_on ? s.ckpt.remainder_cost() : s.ckpt.full_cost;
+    r.general = single_segment_phase(tg, tail, s.ckpt.full_recovery, d, mu);
+  }
+
+  if (tl > 0.0) {
+    r.library = abft_phase(tl, s.abft.phi, s.ckpt.library_cost(),
+                           s.ckpt.remainder_recovery(), s.abft.recons, d, mu);
+    r.period_library = 0.0;
+  }
+  return finalize(r, s);
+}
+
+ProtocolResult evaluate(Protocol p, const ScenarioParams& s,
+                        const ModelOptions& opt) {
+  switch (p) {
+    case Protocol::PurePeriodicCkpt:
+      return evaluate_pure(s, opt);
+    case Protocol::BiPeriodicCkpt:
+      return evaluate_bi(s, opt);
+    case Protocol::AbftPeriodicCkpt:
+      return evaluate_composite(s, opt);
+  }
+  ABFTC_CHECK(false, "unknown protocol");
+}
+
+}  // namespace abftc::core

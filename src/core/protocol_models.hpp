@@ -1,0 +1,77 @@
+#pragma once
+/// \file protocol_models.hpp
+/// Analytical waste models of the three protocols the paper compares
+/// (Sections IV-B and IV-C):
+///
+///  * PurePeriodicCkpt  — coordinated periodic checkpointing of the whole
+///    memory (cost C) with one period across the whole execution (Fig. 5).
+///  * BiPeriodicCkpt    — incremental-checkpoint-aware variant: LIBRARY
+///    phases checkpoint only the library dataset (cost C_L) with their own
+///    optimal period (Eq. 13/14; Fig. 6).
+///  * AbftPeriodicCkpt  — the composite protocol: periodic checkpointing in
+///    GENERAL phases, ABFT in LIBRARY phases, forced partial checkpoints
+///    (entry C_L̄ / exit C_L) at the phase boundaries (Fig. 2/3/4).
+
+#include <string_view>
+
+#include "core/params.hpp"
+#include "core/phase_model.hpp"
+
+namespace abftc::core {
+
+enum class Protocol {
+  PurePeriodicCkpt,
+  BiPeriodicCkpt,
+  AbftPeriodicCkpt,
+};
+
+[[nodiscard]] std::string_view to_string(Protocol p) noexcept;
+
+/// Model evaluation knobs.
+struct ModelOptions {
+  /// §III-B safeguard: ABFT is activated only when the projected protected
+  /// library duration φ·T_L reaches the optimal checkpoint interval.
+  bool safeguard = true;
+  /// Use the exact numeric period optimum instead of Eq. (11)/(14).
+  bool exact_period = false;
+};
+
+/// Waste prediction for a full scenario under one protocol.
+struct ProtocolResult {
+  Protocol protocol{};
+  double work = 0.0;     ///< useful seconds (epochs × T0)
+  double t_ff = 0.0;     ///< fault-free wall-clock
+  double t_final = 0.0;  ///< expected wall-clock with failures
+  bool diverged = false;
+  double period_general = 0.0;  ///< period in GENERAL phases (0: none)
+  double period_library = 0.0;  ///< period in LIBRARY phases (0: none)
+  bool abft_active = false;     ///< composite only: did ABFT engage?
+  /// BiPeriodicCkpt only: phases were too short for per-phase periods, so
+  /// the protocol ran one periodic stream across epochs with the averaged
+  /// checkpoint cost (see evaluate_bi).
+  bool bi_stream = false;
+  double stream_ckpt = 0.0;  ///< averaged checkpoint cost when bi_stream
+  PhaseOutcome general;         ///< per-epoch GENERAL phase outcome
+  PhaseOutcome library;         ///< per-epoch LIBRARY phase outcome
+
+  /// WASTE = 1 − T0 / T_final (Eq. 12).
+  [[nodiscard]] double waste() const noexcept {
+    if (diverged || t_final <= 0.0) return 1.0;
+    return 1.0 - work / t_final;
+  }
+  /// Expected failure count over the run: T_final / µ.
+  [[nodiscard]] double expected_failures(double mtbf) const noexcept {
+    return diverged ? 0.0 : t_final / mtbf;
+  }
+};
+
+[[nodiscard]] ProtocolResult evaluate_pure(const ScenarioParams& s,
+                                           const ModelOptions& opt = {});
+[[nodiscard]] ProtocolResult evaluate_bi(const ScenarioParams& s,
+                                         const ModelOptions& opt = {});
+[[nodiscard]] ProtocolResult evaluate_composite(const ScenarioParams& s,
+                                                const ModelOptions& opt = {});
+[[nodiscard]] ProtocolResult evaluate(Protocol p, const ScenarioParams& s,
+                                      const ModelOptions& opt = {});
+
+}  // namespace abftc::core

@@ -1,0 +1,91 @@
+#pragma once
+/// \file scaling.hpp
+/// Weak-scaling scenario generation for the Section V-C study (Figs 8–10).
+///
+/// The application follows Gustafson's law: memory per node is fixed, so the
+/// total memory M grows linearly with the node count x. For 2-D array
+/// kernels, O(n²) = O(x), hence an O(n³) phase has parallel completion time
+/// O(√x) and an O(n²) phase stays constant. The platform MTBF shrinks as
+/// components are added, and the checkpoint cost grows with the memory that
+/// must be saved (unless buddy/NVRAM storage makes it constant — Fig. 10).
+///
+/// Every quantity's growth is expressed as a ScalingLaw applied to
+/// x / base_nodes, so both the paper's literal parameters and the calibrated
+/// ones used by the benches (see EXPERIMENTS.md) are instances of the same
+/// generator.
+
+#include <vector>
+
+#include "ckpt/storage.hpp"
+#include "core/params.hpp"
+
+namespace abftc::core {
+
+/// Bridge: derive the model-layer C/R/ρ from a concrete storage model for an
+/// application of `bytes_per_node` on `nodes` (used to anchor Figs 8–10 in
+/// hardware terms rather than in arbitrary seconds).
+[[nodiscard]] CheckpointParams ckpt_from_storage(
+    const ckpt::StorageModel& storage, double bytes_per_node,
+    std::size_t nodes, double rho);
+
+/// Growth law as a function of r = nodes / base_nodes.
+enum class ScalingLaw {
+  Constant,  ///< f(r) = 1
+  Sqrt,      ///< f(r) = √r   (e.g. O(n³) work over x nodes)
+  Linear,    ///< f(r) = r    (e.g. aggregate memory through a fixed pipe)
+};
+
+[[nodiscard]] double scale_factor(ScalingLaw law, double ratio);
+
+/// Parameters anchored at `base_nodes` and scaled outward.
+struct WeakScalingConfig {
+  double base_nodes = 1e4;
+
+  // Workload anchors at base_nodes.
+  double base_library = 0.0;  ///< T_L per epoch at base_nodes (s)
+  double base_general = 0.0;  ///< T_G per epoch at base_nodes (s)
+  std::size_t epochs = 1000;
+
+  // Platform anchors at base_nodes.
+  double base_ckpt = 60.0;      ///< C = R at base_nodes (s)
+  double base_mtbf = 86400.0;   ///< µ at base_nodes (s)
+  double downtime = 60.0;       ///< D (does not scale)
+
+  // Protection constants (Section V).
+  double phi = 1.03;
+  double recons = 2.0;
+  double rho = 0.8;
+
+  // Growth laws.
+  ScalingLaw library_growth = ScalingLaw::Sqrt;    ///< O(n³) phase
+  ScalingLaw general_growth = ScalingLaw::Sqrt;    ///< Fig 8: O(n³); Fig 9/10: O(n²)
+  ScalingLaw ckpt_growth = ScalingLaw::Sqrt;       ///< storage model
+  ScalingLaw mtbf_shrink = ScalingLaw::Sqrt;       ///< µ(x) = base_mtbf / f(r)
+
+  void validate() const;
+};
+
+/// Instantiate the scenario at a given node count.
+[[nodiscard]] ScenarioParams scenario_at(const WeakScalingConfig& cfg,
+                                         double nodes);
+
+/// α at a given node count (useful for axis labels, cf. Fig. 9/10).
+[[nodiscard]] double alpha_at(const WeakScalingConfig& cfg, double nodes);
+
+/// Log-spaced node sweep 1k → 1M (the x-axis of Figs 8–10).
+[[nodiscard]] std::vector<double> default_node_sweep(int points_per_decade = 4);
+
+/// Calibrated configurations reproducing the published figures' shapes.
+/// The deviations from the literal Section V-C text (and why the literal
+/// text cannot be reproduced as written) are documented in EXPERIMENTS.md.
+[[nodiscard]] WeakScalingConfig figure8_config();   ///< fixed α = 0.8
+[[nodiscard]] WeakScalingConfig figure9_config();   ///< variable α (O(n²) GENERAL)
+[[nodiscard]] WeakScalingConfig figure10_config();  ///< + constant C = R = 60 s
+
+/// The paper's literal Section V-C reading (epoch = 1 min at 10k nodes,
+/// µ ∝ 1/x, C ∝ x). Provided for the record: beyond ~3·10⁵ nodes it drives
+/// µ below D + R and *every* protocol diverges (waste = 1), which the
+/// published curves do not show. Kept for the ablation bench.
+[[nodiscard]] WeakScalingConfig figure8_literal_config();
+
+}  // namespace abftc::core

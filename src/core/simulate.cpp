@@ -1,0 +1,141 @@
+#include "core/simulate.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace abftc::core {
+
+using sim::run_abft_phase;
+using sim::run_periodic_stream;
+using sim::run_segment;
+using sim::SimState;
+
+ProtocolPlan make_plan(Protocol p, const ScenarioParams& s,
+                       const ModelOptions& opt) {
+  s.validate();
+  // The model already encodes all plan decisions; reuse it verbatim so the
+  // simulator can never drift from the model's protocol definition.
+  const ProtocolResult m = evaluate(p, s, opt);
+  ProtocolPlan plan;
+  plan.protocol = p;
+
+  const double tg = s.epoch.general();
+  const double tl = s.epoch.library();
+
+  switch (p) {
+    case Protocol::PurePeriodicCkpt: {
+      plan.valid = !(m.diverged && m.period_general == 0.0);
+      plan.general_periodic = m.period_general > 0.0 &&
+                              s.total_work() >= m.period_general;
+      plan.period_general = m.period_general;
+      plan.general_tail = 0.0;  // nothing to save after the last result
+      plan.abft_active = false;
+      break;
+    }
+    case Protocol::BiPeriodicCkpt: {
+      plan.valid = !m.diverged;
+      plan.bi_stream = m.bi_stream;
+      plan.stream_ckpt = m.stream_ckpt;
+      plan.general_periodic = m.period_general > 0.0 && tg >= m.period_general;
+      plan.period_general = m.period_general;
+      plan.general_tail = s.ckpt.full_cost;
+      plan.abft_active = false;
+      plan.library_periodic = m.period_library > 0.0 && tl >= m.period_library;
+      plan.period_library = m.period_library;
+      plan.library_tail = s.ckpt.library_cost();
+      break;
+    }
+    case Protocol::AbftPeriodicCkpt: {
+      if (!m.abft_active && tl > 0.0) {
+        // Safeguard fallback: the composite executes as BiPeriodicCkpt.
+        plan = make_plan(Protocol::BiPeriodicCkpt, s, opt);
+        plan.protocol = Protocol::AbftPeriodicCkpt;
+        break;
+      }
+      plan.valid = !m.diverged || m.abft_active;
+      plan.general_periodic = m.period_general > 0.0 && tg >= m.period_general;
+      plan.period_general = m.period_general;
+      plan.abft_active = m.abft_active;
+      plan.general_tail =
+          m.abft_active ? s.ckpt.remainder_cost() : s.ckpt.full_cost;
+      plan.library_tail = s.ckpt.library_cost();
+      break;
+    }
+  }
+  return plan;
+}
+
+SimResult simulate_run(const ScenarioParams& s, const ProtocolPlan& plan,
+                       sim::FailureClock& clock) {
+  s.validate();
+  ABFTC_REQUIRE(plan.valid,
+                "cannot simulate an infeasible plan (no valid period)");
+  const double d = s.platform.downtime;
+  const double r_full = s.ckpt.full_recovery;
+
+  SimState st;
+  st.clock = &clock;
+
+  if (plan.protocol == Protocol::PurePeriodicCkpt) {
+    // One uniform stream; the epoch structure is invisible (§IV-C).
+    const double work = s.total_work();
+    if (plan.general_periodic) {
+      run_periodic_stream(st, work, plan.period_general, s.ckpt.full_cost,
+                          plan.general_tail, r_full, d);
+    } else {
+      run_segment(st, work, plan.general_tail, r_full, d);
+    }
+  } else if (plan.bi_stream) {
+    // Short phases: one periodic stream across epochs with the averaged
+    // checkpoint cost (matches evaluate_bi's stream mode).
+    run_periodic_stream(st, s.total_work(), plan.period_general,
+                        plan.stream_ckpt, 0.0, r_full, d);
+  } else {
+    const double tg = s.epoch.general();
+    const double tl = s.epoch.library();
+    for (std::size_t e = 0; e < s.epochs; ++e) {
+      // GENERAL phase.
+      if (tg > 0.0 || plan.protocol == Protocol::AbftPeriodicCkpt) {
+        if (plan.general_periodic) {
+          run_periodic_stream(st, tg, plan.period_general, s.ckpt.full_cost,
+                              plan.general_tail, r_full, d);
+        } else {
+          // Includes the forced entry checkpoint (C_L̄ under ABFT, C else);
+          // with tg == 0 this degenerates to just the checkpoint.
+          run_segment(st, tg, plan.general_tail, r_full, d);
+        }
+      }
+      // LIBRARY phase.
+      if (tl > 0.0) {
+        if (plan.abft_active) {
+          run_abft_phase(st, tl, s.abft.phi, plan.library_tail,
+                         s.ckpt.remainder_recovery(), s.abft.recons, d);
+        } else if (plan.library_periodic) {
+          run_periodic_stream(st, tl, plan.period_library,
+                              s.ckpt.library_cost(), plan.library_tail, r_full,
+                              d);
+        } else {
+          run_segment(st, tl, plan.library_tail, r_full, d);
+        }
+      }
+    }
+  }
+
+  SimResult out;
+  out.work = s.total_work();
+  out.t_final = st.now;
+  out.failures = st.failures;
+  out.breakdown = st.acc;
+  return out;
+}
+
+SimResult simulate_run(const ScenarioParams& s, const ProtocolPlan& plan,
+                       std::uint64_t seed) {
+  sim::AggregateFailureClock clock(
+      std::make_unique<sim::ExponentialArrivals>(s.platform.mtbf),
+      common::Rng(seed));
+  return simulate_run(s, plan, clock);
+}
+
+}  // namespace abftc::core

@@ -1,0 +1,136 @@
+#include "sim/des_periodic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace abftc::sim {
+
+namespace {
+
+/// Per-run state machine: each chunk is [work w | checkpoint c]; a failure
+/// event cancels the pending completion and schedules the recovery
+/// sequence; recovery completion re-schedules the chunk.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Engine& engine, SimState& state, double work, double period,
+                  double ckpt_cost, double tail_ckpt, double recovery,
+                  double downtime)
+      : engine_(engine),
+        state_(state),
+        work_(work),
+        chunk_(period - ckpt_cost),
+        ckpt_(ckpt_cost),
+        tail_(tail_ckpt),
+        recovery_(recovery),
+        downtime_(downtime) {}
+
+  void start() { begin_chunk(); }
+
+ private:
+  enum class Mode { Work, Ckpt, Down, Recover };
+
+  double current_chunk() const {
+    return std::min(chunk_, work_ - done_);
+  }
+  double current_ckpt() const {
+    return (done_ + current_chunk() >= work_) ? tail_ : ckpt_;
+  }
+
+  void begin_chunk() {
+    if (done_ >= work_ && !(work_ == 0.0 && tail_ > 0.0 && !tail_done_)) {
+      engine_.stop();
+      return;
+    }
+    begin_span(Mode::Work, current_chunk());
+  }
+
+  void begin_span(Mode mode, double duration) {
+    mode_ = mode;
+    span_start_ = engine_.now();
+    span_len_ = duration;
+    const double fail_at = state_.clock->next_after(engine_.now());
+    const double end_at = engine_.now() + duration;
+    if (fail_at < end_at) {
+      engine_.at(fail_at, [this] { on_failure(); });
+    } else {
+      engine_.at(end_at, [this] { on_span_done(); });
+    }
+  }
+
+  void on_failure() {
+    const double elapsed = engine_.now() - span_start_;
+    ++state_.failures;
+    ABFTC_CHECK(state_.failures <= state_.max_failures,
+                "failure budget exhausted (diverged configuration)");
+    switch (mode_) {
+      case Mode::Work:
+        state_.acc.lost += elapsed;
+        break;
+      case Mode::Ckpt:
+        // The chunk was never committed: its work is lost too.
+        state_.acc.lost += current_chunk() + elapsed;
+        break;
+      case Mode::Down:
+        state_.acc.downtime += elapsed;
+        break;
+      case Mode::Recover:
+        state_.acc.recovery += elapsed;
+        break;
+    }
+    begin_span(Mode::Down, downtime_);
+  }
+
+  void on_span_done() {
+    switch (mode_) {
+      case Mode::Work:
+        begin_span(Mode::Ckpt, current_ckpt());
+        break;
+      case Mode::Ckpt: {
+        const double w = current_chunk();
+        state_.acc.useful += w;
+        state_.acc.ckpt += current_ckpt();
+        done_ += w;
+        if (work_ == 0.0) tail_done_ = true;
+        begin_chunk();
+        break;
+      }
+      case Mode::Down:
+        state_.acc.downtime += downtime_;
+        begin_span(Mode::Recover, recovery_);
+        break;
+      case Mode::Recover:
+        state_.acc.recovery += recovery_;
+        begin_chunk();  // retry the in-flight chunk
+        break;
+    }
+  }
+
+  Engine& engine_;
+  SimState& state_;
+  const double work_, chunk_, ckpt_, tail_, recovery_, downtime_;
+  double done_ = 0.0;
+  bool tail_done_ = false;
+  Mode mode_ = Mode::Work;
+  double span_start_ = 0.0;
+  double span_len_ = 0.0;
+};
+
+}  // namespace
+
+void des_periodic_stream(Engine& engine, SimState& state, double work,
+                         double period, double ckpt_cost, double tail_ckpt,
+                         double recovery, double downtime) {
+  ABFTC_REQUIRE(state.clock != nullptr, "SimState needs a failure clock");
+  ABFTC_REQUIRE(work >= 0.0, "work must be non-negative");
+  if (work == 0.0 && tail_ckpt == 0.0) return;
+  ABFTC_REQUIRE(period > ckpt_cost, "period must exceed the checkpoint cost");
+
+  PeriodicProcess proc(engine, state, work, period, ckpt_cost, tail_ckpt,
+                       recovery, downtime);
+  proc.start();
+  engine.run();
+  state.now = engine.now();
+}
+
+}  // namespace abftc::sim

@@ -1,0 +1,22 @@
+#pragma once
+/// \file des_periodic.hpp
+/// Event-driven (engine-based) executor for a periodically checkpointed
+/// work stream. Functionally identical to run_periodic_stream — it queries
+/// the failure clock in the same order, so with the same seed it produces
+/// bit-identical results (asserted by tests). It exists to exercise the
+/// generic DES engine on the paper's workload and to host extensions that
+/// need event semantics (cancellation, concurrent processes).
+
+#include "sim/engine.hpp"
+#include "sim/segments.hpp"
+
+namespace abftc::sim {
+
+/// Run `work` seconds under periodic checkpointing on an Engine; mirrors
+/// run_periodic_stream(state, work, period, ckpt, tail_ckpt, recovery, D).
+/// Returns the breakdown and final time through `state`.
+void des_periodic_stream(Engine& engine, SimState& state, double work,
+                         double period, double ckpt_cost, double tail_ckpt,
+                         double recovery, double downtime);
+
+}  // namespace abftc::sim

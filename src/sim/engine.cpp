@@ -1,0 +1,44 @@
+#include "sim/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace abftc::sim {
+
+EventId Engine::at(double t, EventFn fn) {
+  ABFTC_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventId Engine::in(double dt, EventFn fn) {
+  ABFTC_REQUIRE(dt >= 0.0, "delay must be non-negative");
+  return queue_.schedule(now_ + dt, std::move(fn));
+}
+
+std::size_t Engine::run() {
+  stopped_ = false;
+  std::size_t fired = 0;
+  while (!queue_.empty() && !stopped_) {
+    auto ev = queue_.pop();
+    ABFTC_CHECK(ev.time >= now_, "event queue went backwards in time");
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t Engine::run_until(double t_end) {
+  ABFTC_REQUIRE(t_end >= now_, "cannot run to a time in the past");
+  stopped_ = false;
+  std::size_t fired = 0;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= t_end) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+  }
+  if (!stopped_) now_ = t_end;
+  return fired;
+}
+
+}  // namespace abftc::sim

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace abftc::sim {
+
+EventId EventQueue::schedule(double t, EventFn fn) {
+  ABFTC_REQUIRE(fn != nullptr, "cannot schedule a null event");
+  const EventId id = next_id_++;
+  heap_.push({t, id});
+  if (fns_.size() <= id) fns_.resize(id + 1);
+  fns_[id] = std::move(fn);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= fns_.size() || !fns_[id]) return false;
+  fns_[id] = nullptr;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+std::size_t EventQueue::size() const noexcept { return live_; }
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() &&
+         cancelled_.find(heap_.top().id) != cancelled_.end()) {
+    heap_.pop();
+  }
+}
+
+double EventQueue::next_time() const {
+  drop_cancelled();
+  ABFTC_REQUIRE(!heap_.empty(), "next_time on an empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  ABFTC_REQUIRE(!heap_.empty(), "pop on an empty queue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  Fired fired{e.time, e.id, std::move(fns_[e.id])};
+  fns_[e.id] = nullptr;
+  cancelled_.erase(e.id);
+  --live_;
+  return fired;
+}
+
+}  // namespace abftc::sim

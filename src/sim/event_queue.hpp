@@ -1,0 +1,61 @@
+#pragma once
+/// \file event_queue.hpp
+/// A stable priority queue of timestamped events: ties are broken by
+/// insertion order, so simulations are deterministic. Cancellation is
+/// O(log n) amortized via tombstones.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace abftc::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t`. Returns a handle for cancellation.
+  EventId schedule(double t, EventFn fn);
+
+  /// Cancel a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Time of the earliest pending event (requires !empty()).
+  [[nodiscard]] double next_time() const;
+
+  /// Pop and return the earliest pending event.
+  struct Fired {
+    double time;
+    EventId id;
+    EventFn fn;
+  };
+  [[nodiscard]] Fired pop();
+
+ private:
+  void drop_cancelled() const;
+
+  struct Entry {
+    double time;
+    EventId id;
+    // min-heap on (time, id): later insertions fire later on ties
+    bool operator>(const Entry& o) const noexcept {
+      return time > o.time || (time == o.time && id > o.id);
+    }
+  };
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+
+  // id -> callback storage; ids are dense so a vector indexed by id works.
+  std::vector<EventFn> fns_;
+};
+
+}  // namespace abftc::sim

@@ -1,0 +1,103 @@
+#include "sim/failures.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace abftc::sim {
+
+ExponentialArrivals::ExponentialArrivals(double mean) : mean_(mean) {
+  ABFTC_REQUIRE(mean > 0.0, "exponential mean must be positive");
+}
+
+double ExponentialArrivals::sample(common::Rng& rng) const {
+  return rng.exponential(mean_);
+}
+
+std::unique_ptr<InterArrival> ExponentialArrivals::clone() const {
+  return std::make_unique<ExponentialArrivals>(*this);
+}
+
+WeibullArrivals::WeibullArrivals(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  ABFTC_REQUIRE(shape > 0.0, "weibull shape must be positive");
+  ABFTC_REQUIRE(scale > 0.0, "weibull scale must be positive");
+}
+
+WeibullArrivals WeibullArrivals::from_mean(double shape, double mean) {
+  ABFTC_REQUIRE(shape > 0.0 && mean > 0.0,
+                "weibull shape and mean must be positive");
+  const double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  return WeibullArrivals(shape, scale);
+}
+
+double WeibullArrivals::sample(common::Rng& rng) const {
+  return rng.weibull(shape_, scale_);
+}
+
+double WeibullArrivals::mean() const noexcept {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::unique_ptr<InterArrival> WeibullArrivals::clone() const {
+  return std::make_unique<WeibullArrivals>(*this);
+}
+
+LogNormalArrivals::LogNormalArrivals(double mean, double cv) : mean_(mean) {
+  ABFTC_REQUIRE(mean > 0.0, "log-normal mean must be positive");
+  ABFTC_REQUIRE(cv > 0.0, "log-normal cv must be positive");
+  // mean = exp(µ + σ²/2), cv² = exp(σ²) − 1.
+  sigma_log_ = std::sqrt(std::log1p(cv * cv));
+  mu_log_ = std::log(mean) - 0.5 * sigma_log_ * sigma_log_;
+}
+
+double LogNormalArrivals::sample(common::Rng& rng) const {
+  return rng.lognormal(mu_log_, sigma_log_);
+}
+
+std::unique_ptr<InterArrival> LogNormalArrivals::clone() const {
+  return std::make_unique<LogNormalArrivals>(*this);
+}
+
+AggregateFailureClock::AggregateFailureClock(std::unique_ptr<InterArrival> dist,
+                                             common::Rng rng)
+    : dist_(std::move(dist)), rng_(rng) {
+  ABFTC_REQUIRE(dist_ != nullptr, "failure clock needs a distribution");
+  next_ = dist_->sample(rng_);
+}
+
+double AggregateFailureClock::next_after(double t) {
+  while (next_ <= t) next_ += dist_->sample(rng_);
+  return next_;
+}
+
+NodeFailureClock::NodeFailureClock(std::unique_ptr<InterArrival> per_node_dist,
+                                   std::size_t nodes, common::Rng rng)
+    : dist_(std::move(per_node_dist)), rng_(rng) {
+  ABFTC_REQUIRE(dist_ != nullptr, "failure clock needs a distribution");
+  ABFTC_REQUIRE(nodes > 0, "need at least one node");
+  for (std::size_t i = 0; i < nodes; ++i)
+    heap_.push({dist_->sample(rng_), i});
+}
+
+void NodeFailureClock::refill_past(double t) {
+  while (heap_.top().time <= t) {
+    Entry e = heap_.top();
+    heap_.pop();
+    while (e.time <= t) e.time += dist_->sample(rng_);
+    heap_.push(e);
+  }
+}
+
+double NodeFailureClock::next_after(double t) {
+  refill_past(t);
+  return heap_.top().time;
+}
+
+NodeFailureClock::Failure NodeFailureClock::next_failure_after(double t) {
+  refill_past(t);
+  const Entry& e = heap_.top();
+  return {e.time, e.node};
+}
+
+}  // namespace abftc::sim

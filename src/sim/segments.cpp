@@ -1,0 +1,141 @@
+#include "sim/segments.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace abftc::sim {
+
+TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& o) noexcept {
+  useful += o.useful;
+  ckpt += o.ckpt;
+  lost += o.lost;
+  downtime += o.downtime;
+  recovery += o.recovery;
+  abft_overhead += o.abft_overhead;
+  recons += o.recons;
+  return *this;
+}
+
+Attempt attempt(SimState& state, double duration) {
+  ABFTC_REQUIRE(state.clock != nullptr, "SimState needs a failure clock");
+  ABFTC_REQUIRE(duration >= 0.0, "attempt duration must be non-negative");
+  if (duration == 0.0) return {true, 0.0};
+  const double fail_at = state.clock->next_after(state.now);
+  if (fail_at >= state.now + duration) {
+    state.now += duration;
+    return {true, duration};
+  }
+  const double elapsed = fail_at - state.now;
+  state.now = fail_at;
+  ++state.failures;
+  ABFTC_CHECK(state.failures <= state.max_failures,
+              "failure budget exhausted: the protocol cannot make progress "
+              "at this MTBF (diverged configuration)");
+  return {false, elapsed};
+}
+
+void recover(SimState& state, double downtime, double recovery_cost,
+             double extra_recons) {
+  for (;;) {
+    const Attempt d = attempt(state, downtime);
+    state.acc.downtime += d.elapsed;
+    if (!d.completed) continue;  // failure while rebooting: reboot again
+    const Attempt r = attempt(state, recovery_cost);
+    state.acc.recovery += r.elapsed;
+    if (!r.completed) continue;  // failure while reloading: start over
+    const Attempt x = attempt(state, extra_recons);
+    state.acc.recons += x.elapsed;
+    if (x.completed) return;
+  }
+}
+
+void run_periodic_stream(SimState& state, double work, double period,
+                         double ckpt_cost, double tail_ckpt, double recovery,
+                         double downtime) {
+  ABFTC_REQUIRE(work >= 0.0, "work must be non-negative");
+  if (work == 0.0 && tail_ckpt == 0.0) return;
+  ABFTC_REQUIRE(period > ckpt_cost, "period must exceed the checkpoint cost");
+  const double chunk = period - ckpt_cost;
+
+  double done = 0.0;
+  while (done < work || (done == 0.0 && work == 0.0)) {
+    const double w = std::min(chunk, work - done);
+    const bool last = (done + w >= work);
+    const double c = last ? tail_ckpt : ckpt_cost;
+    for (;;) {
+      const Attempt aw = attempt(state, w);
+      if (!aw.completed) {
+        state.acc.lost += aw.elapsed;
+        recover(state, downtime, recovery);
+        continue;
+      }
+      const Attempt ac = attempt(state, c);
+      if (!ac.completed) {
+        // The chunk was computed but never committed: all of it is lost,
+        // along with the partial checkpoint I/O.
+        state.acc.lost += w + ac.elapsed;
+        recover(state, downtime, recovery);
+        continue;
+      }
+      state.acc.useful += w;
+      state.acc.ckpt += c;
+      break;
+    }
+    done += w;
+    if (work == 0.0) break;
+  }
+}
+
+void run_segment(SimState& state, double work, double tail_ckpt,
+                 double recovery, double downtime) {
+  ABFTC_REQUIRE(work >= 0.0, "work must be non-negative");
+  if (work == 0.0 && tail_ckpt == 0.0) return;
+  for (;;) {
+    const Attempt aw = attempt(state, work);
+    if (!aw.completed) {
+      state.acc.lost += aw.elapsed;
+      recover(state, downtime, recovery);
+      continue;
+    }
+    const Attempt ac = attempt(state, tail_ckpt);
+    if (!ac.completed) {
+      state.acc.lost += work + ac.elapsed;
+      recover(state, downtime, recovery);
+      continue;
+    }
+    state.acc.useful += work;
+    state.acc.ckpt += tail_ckpt;
+    return;
+  }
+}
+
+void run_abft_phase(SimState& state, double work, double phi, double exit_ckpt,
+                    double remainder_recovery, double recons, double downtime) {
+  ABFTC_REQUIRE(work >= 0.0, "work must be non-negative");
+  ABFTC_REQUIRE(phi >= 1.0, "phi must be >= 1");
+  double remaining = phi * work;  // protected computation, stretched by φ
+  while (remaining > 0.0) {
+    const Attempt a = attempt(state, remaining);
+    // ABFT progress survives the failure: account the elapsed protected
+    // compute as useful (1/φ share) + ABFT overhead ((φ−1)/φ share).
+    state.acc.useful += a.elapsed / phi;
+    state.acc.abft_overhead += a.elapsed * (1.0 - 1.0 / phi);
+    remaining -= a.elapsed;
+    if (!a.completed)
+      recover(state, downtime, remainder_recovery, recons);
+  }
+  // Exit checkpoint C_L: a failure discards the partial checkpoint, pays an
+  // ABFT recovery (the dataset is still ABFT-protected) and retries.
+  for (;;) {
+    const Attempt ac = attempt(state, exit_ckpt);
+    if (ac.completed) {
+      state.acc.ckpt += exit_ckpt;
+      return;
+    }
+    state.acc.lost += ac.elapsed;
+    recover(state, downtime, remainder_recovery, recons);
+  }
+}
+
+}  // namespace abftc::sim

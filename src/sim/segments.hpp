@@ -1,0 +1,89 @@
+#pragma once
+/// \file segments.hpp
+/// Restartable-segment primitives: the execution machinery underneath all
+/// three protocol simulators. Unlike the analytical model of Section IV,
+/// these primitives make no rare-failure approximation — failures can hit
+/// checkpoints, recoveries, downtimes and each other (Section V-A), and the
+/// work is retried "until each period is successfully completed".
+///
+/// Time accounting: every simulated second lands in exactly one bucket of
+/// TimeBreakdown, so `breakdown.total() == now` is an enforced invariant
+/// (tests rely on it).
+
+#include <cstddef>
+
+#include "sim/failures.hpp"
+
+namespace abftc::sim {
+
+/// Where a simulated second of wall-clock went.
+struct TimeBreakdown {
+  double useful = 0.0;         ///< committed application progress
+  double ckpt = 0.0;           ///< completed checkpoint I/O
+  double lost = 0.0;           ///< provisional work/ckpt discarded by rollback
+  double downtime = 0.0;       ///< D after each failure (incl. restarted ones)
+  double recovery = 0.0;       ///< checkpoint reload time (R or R_L̄)
+  double abft_overhead = 0.0;  ///< the (φ−1)/φ share of ABFT-protected compute
+  double recons = 0.0;         ///< ABFT checksum reconstruction time
+
+  [[nodiscard]] double total() const noexcept {
+    return useful + ckpt + lost + downtime + recovery + abft_overhead + recons;
+  }
+  TimeBreakdown& operator+=(const TimeBreakdown& o) noexcept;
+};
+
+/// Mutable simulation state threaded through the primitives.
+struct SimState {
+  FailureClock* clock = nullptr;  ///< non-owning; must outlive the state
+  double now = 0.0;
+  TimeBreakdown acc;
+  std::size_t failures = 0;  ///< observed failure count
+
+  /// Safety valve: a protocol that cannot make progress (e.g. segment much
+  /// longer than the MTBF) would loop forever; beyond this many failures
+  /// the primitives throw abftc::common::invariant_error.
+  std::size_t max_failures = 50'000'000;
+};
+
+/// Outcome of attempting an uninterruptible span of `duration` seconds.
+struct Attempt {
+  bool completed = false;
+  double elapsed = 0.0;  ///< min(duration, time until the failure)
+};
+
+/// Advance the clock through `duration` seconds of activity, stopping at the
+/// first failure. On failure, `state.now` is the failure instant and
+/// `state.failures` is incremented. The elapsed time is *not* accounted —
+/// the caller decides which bucket it belongs to.
+[[nodiscard]] Attempt attempt(SimState& state, double duration);
+
+/// Downtime D followed by a reload of cost `recovery_cost`; a failure during
+/// either restarts the whole sequence (a new downtime, a new reload).
+/// `extra_cost` is appended after the reload under the `recons` bucket
+/// (ABFT reconstruction); it restarts with the sequence as well.
+void recover(SimState& state, double downtime, double recovery_cost,
+             double extra_recons = 0.0);
+
+/// Run `work` seconds of useful work in periods of (period − ckpt_cost) work
+/// + ckpt_cost checkpoint; the final chunk is closed by `tail_ckpt` instead
+/// (pass 0 for "no trailing checkpoint", e.g. end of the application).
+/// A failure anywhere in a period discards the in-flight chunk (lost) and
+/// triggers recover(D, R).
+void run_periodic_stream(SimState& state, double work, double period,
+                         double ckpt_cost, double tail_ckpt, double recovery,
+                         double downtime);
+
+/// Run `work` seconds as one unprotected chunk closed by `tail_ckpt`;
+/// a failure restarts the chunk from its beginning.
+void run_segment(SimState& state, double work, double tail_ckpt,
+                 double recovery, double downtime);
+
+/// Run `work` seconds of ABFT-protected library computation (stretched by
+/// φ), closed by an `exit_ckpt` checkpoint. Failures lose no work: each one
+/// costs downtime + remainder reload + checksum reconstruction, after which
+/// the computation resumes where it stopped (Section III-A). A failure
+/// during the exit checkpoint discards only the partial checkpoint.
+void run_abft_phase(SimState& state, double work, double phi, double exit_ckpt,
+                    double remainder_recovery, double recons, double downtime);
+
+}  // namespace abftc::sim

@@ -1,0 +1,113 @@
+// Tests for the ABFT-protected Cholesky factorization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+#include "abft/abft_cholesky.hpp"
+#include "abft/blas.hpp"
+
+namespace {
+
+using namespace abftc;
+using abft::AbftCholesky;
+using abft::Matrix;
+using abft::ProcessGrid;
+
+Matrix spd(std::size_t n, std::uint64_t seed = 5) {
+  common::Rng rng(seed);
+  return Matrix::spd(n, rng);
+}
+
+TEST(AbftCholesky, MatchesPlainFactorization) {
+  const std::size_t n = 96, nb = 8;
+  const Matrix a = spd(n);
+  Matrix plain = a;
+  abft::plain_blocked_cholesky(plain, nb);
+
+  AbftCholesky chol(a, nb, ProcessGrid{2, 3});
+  chol.factor();
+  // Compare lower triangles (the ABFT variant mirrors the upper part).
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      max_diff = std::max(max_diff, std::fabs(chol.factor_matrix()(i, j) -
+                                              plain(i, j)));
+  EXPECT_LT(max_diff, 1e-9);
+}
+
+TEST(AbftCholesky, ReconstructsProduct) {
+  const Matrix a = spd(64);
+  AbftCholesky chol(a, 8, ProcessGrid{2, 2});
+  chol.factor();
+  EXPECT_LT(abft::relative_error(chol.reconstruct_product(), a), 1e-12);
+}
+
+TEST(AbftCholesky, ChecksumInvariantHolds) {
+  AbftCholesky chol(spd(80), 8, ProcessGrid{2, 2});
+  chol.factor();
+  EXPECT_LT(chol.checksum_residual(), 1e-6);
+}
+
+TEST(AbftCholesky, SolvesSpdSystems) {
+  const std::size_t n = 64;
+  const Matrix a = spd(n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x_true[i] = std::sin(static_cast<double>(i));
+  std::vector<double> b;
+  abft::gemv(a.view(), x_true, b);
+
+  AbftCholesky chol(a, 8, ProcessGrid{2, 2});
+  chol.factor();
+  const auto x = abft::cholesky_solve(chol.factor_matrix(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+class AbftCholeskyFaultTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AbftCholeskyFaultTest, RecoversAtAnyStep) {
+  const auto [step, rank] = GetParam();
+  const std::size_t n = 96, nb = 8;
+  const Matrix a = spd(n);
+  AbftCholesky chol(a, nb, ProcessGrid{2, 3});
+  chol.factor({{step, rank}});
+  EXPECT_GT(chol.recovery().blocks_recovered, 0u);
+  EXPECT_LT(abft::relative_error(chol.reconstruct_product(), a), 1e-9)
+      << "step " << step << " rank " << rank;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StepsAndRanks, AbftCholeskyFaultTest,
+    ::testing::Combine(::testing::Values(0u, 2u, 6u, 12u),
+                       ::testing::Values(1u, 3u, 5u)));
+
+TEST(AbftCholesky, TwoFaultsAcrossSteps) {
+  const Matrix a = spd(96);
+  AbftCholesky chol(a, 8, ProcessGrid{2, 3});
+  chol.factor({{1, 0}, {9, 5}});
+  EXPECT_LT(abft::relative_error(chol.reconstruct_product(), a), 1e-9);
+}
+
+TEST(AbftCholesky, SameGridColumnSimultaneousIsUnrecoverable) {
+  const Matrix a = spd(96);
+  AbftCholesky chol(a, 8, ProcessGrid{2, 3});
+  EXPECT_THROW(chol.factor({{4, 0}, {4, 3}}), abft::unrecoverable_error);
+}
+
+TEST(AbftCholesky, RejectsNonSpd) {
+  Matrix a(16, 16, 0.0);
+  for (std::size_t i = 0; i < 16; ++i) a(i, i) = -1.0;
+  AbftCholesky chol(a, 8, ProcessGrid{1, 1});
+  EXPECT_THROW(chol.factor(), common::invariant_error);
+}
+
+TEST(AbftCholesky, RejectsBadBlocking) {
+  EXPECT_THROW(AbftCholesky(spd(30), 8, ProcessGrid{2, 2}),
+               common::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for checksum-protected matrix multiplication: exactness of the
+// result, checksum invariants, and mid-multiplication rank recovery.
+
+#include <gtest/gtest.h>
+
+#include "abft/abft_gemm.hpp"
+#include "abft/blas.hpp"
+
+namespace {
+
+using namespace abftc;
+using abft::AbftGemm;
+using abft::Matrix;
+using abft::ProcessGrid;
+
+Matrix reference_product(const Matrix& a, const Matrix& b) {
+  Matrix c = Matrix::zeros(a.rows(), b.cols());
+  abft::gemm(1.0, a.view(), abft::Trans::No, b.view(), abft::Trans::No, 0.0,
+             c.view());
+  return c;
+}
+
+TEST(AbftGemm, FaultFreeProductIsExact) {
+  common::Rng rng(3);
+  const Matrix a = Matrix::random(48, 32, rng);
+  const Matrix b = Matrix::random(32, 48, rng);
+  AbftGemm mm(a, b, 8, ProcessGrid{2, 3});
+  const Matrix c = mm.multiply();
+  EXPECT_LT(abft::max_abs_diff(c, reference_product(a, b)), 1e-12);
+  EXPECT_LT(mm.result_checksum_residual(), 1e-10);
+}
+
+class AbftGemmFaultTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AbftGemmFaultTest, RecoversMidMultiplication) {
+  const auto [step, rank] = GetParam();
+  common::Rng rng(11);
+  const Matrix a = Matrix::random(48, 40, rng);  // 5 inner block steps
+  const Matrix b = Matrix::random(40, 48, rng);
+  AbftGemm mm(a, b, 8, ProcessGrid{2, 3});
+  const Matrix c = mm.multiply(abft::InjectedFault{step, rank});
+  EXPECT_GT(mm.recovery().blocks_recovered, 0u);
+  EXPECT_LT(abft::max_abs_diff(c, reference_product(a, b)), 1e-10)
+      << "fault at step " << step << " rank " << rank;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StepsAndRanks, AbftGemmFaultTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u, 5u),
+                       ::testing::Values(0u, 1u, 4u, 5u)));
+
+TEST(AbftGemm, RecoveryTimeIsRecorded) {
+  common::Rng rng(5);
+  const Matrix a = Matrix::random(32, 32, rng);
+  const Matrix b = Matrix::random(32, 32, rng);
+  AbftGemm mm(a, b, 8, ProcessGrid{2, 2});
+  (void)mm.multiply(abft::InjectedFault{2, 1});
+  EXPECT_EQ(mm.recovery().recoveries, 3u);  // A, B and C reconstructions
+  EXPECT_GE(mm.recovery().seconds, 0.0);
+}
+
+TEST(AbftGemm, RejectsMismatchedShapes) {
+  common::Rng rng(9);
+  EXPECT_THROW(AbftGemm(Matrix::random(16, 16, rng),
+                        Matrix::random(24, 16, rng), 8, ProcessGrid{2, 2}),
+               common::precondition_error);
+}
+
+TEST(AbftGemm, RejectsGridMisalignment) {
+  common::Rng rng(9);
+  // 3 row blocks not a multiple of prows=2.
+  EXPECT_THROW(AbftGemm(Matrix::random(24, 16, rng),
+                        Matrix::random(16, 32, rng), 8, ProcessGrid{2, 2}),
+               common::precondition_error);
+}
+
+}  // namespace

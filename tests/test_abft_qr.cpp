@@ -1,0 +1,105 @@
+// Tests for the ABFT-protected Householder QR factorization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+#include "abft/abft_qr.hpp"
+#include "abft/blas.hpp"
+
+namespace {
+
+using namespace abftc;
+using abft::AbftQr;
+using abft::Matrix;
+using abft::ProcessGrid;
+
+Matrix rnd(std::size_t n, std::uint64_t seed = 9) {
+  common::Rng rng(seed);
+  return Matrix::random(n, n, rng);
+}
+
+/// ||upper-triangle mismatch of QᵀA vs R|| and the below-diagonal residue.
+void expect_qr_valid(const AbftQr& qr, const Matrix& a, double tol) {
+  const Matrix qta = qr.apply_q_transpose(a);
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i <= j) {
+        EXPECT_NEAR(qta(i, j), qr.qr()(i, j), tol) << i << "," << j;
+      } else {
+        EXPECT_NEAR(qta(i, j), 0.0, tol) << i << "," << j;
+      }
+    }
+}
+
+TEST(AbftQr, FactorsAndReproducesR) {
+  const std::size_t n = 64, nb = 8;
+  const Matrix a = rnd(n);
+  AbftQr qr(a, nb, ProcessGrid{2, 2});
+  qr.factor();
+  expect_qr_valid(qr, a, 1e-10);
+}
+
+TEST(AbftQr, QIsOrthogonal) {
+  const std::size_t n = 48, nb = 8;
+  const Matrix a = rnd(n);
+  AbftQr qr(a, nb, ProcessGrid{2, 3});
+  qr.factor();
+  // Q·Qᵀ·x == x for a probe matrix.
+  const Matrix probe = rnd(n, 31);
+  const Matrix round_trip = qr.apply_q(qr.apply_q_transpose(probe));
+  EXPECT_LT(abft::max_abs_diff(round_trip, probe), 1e-10);
+}
+
+TEST(AbftQr, ChecksumInvariantHolds) {
+  AbftQr qr(rnd(64), 8, ProcessGrid{2, 2});
+  qr.factor();
+  EXPECT_LT(qr.checksum_residual(), 1e-10);
+}
+
+class AbftQrFaultTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AbftQrFaultTest, RecoversAtAnyStep) {
+  const auto [step, rank] = GetParam();
+  const std::size_t n = 96, nb = 8;  // 12 block cols, grid 2x3
+  const Matrix a = rnd(n);
+  AbftQr qr(a, nb, ProcessGrid{2, 3});
+  qr.factor({{step, rank}});
+  EXPECT_GT(qr.recovery().blocks_recovered, 0u);
+  expect_qr_valid(qr, a, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StepsAndRanks, AbftQrFaultTest,
+    ::testing::Combine(::testing::Values(0u, 3u, 7u, 12u),
+                       ::testing::Values(0u, 2u, 4u)));
+
+TEST(AbftQr, SameGridRowSimultaneousIsUnrecoverable) {
+  // Column-checksum protection: ranks sharing a grid ROW kill both members
+  // of a (column-group, row) pair.
+  const Matrix a = rnd(96);
+  AbftQr qr(a, 8, ProcessGrid{2, 3});
+  // Ranks 0 = (0,0) and 1 = (0,1) share grid row 0.
+  EXPECT_THROW(qr.factor({{5, 0}, {5, 1}}), abft::unrecoverable_error);
+}
+
+TEST(AbftQr, SameGridColumnSimultaneousRecovers) {
+  const Matrix a = rnd(96);
+  AbftQr qr(a, 8, ProcessGrid{2, 3});
+  // Ranks 0 = (0,0) and 3 = (1,0) share a grid column: fine for column
+  // checksums (the transpose of the LU case).
+  qr.factor({{5, 0}, {5, 3}});
+  expect_qr_valid(qr, a, 1e-8);
+}
+
+TEST(AbftQr, RejectsGridMisalignment) {
+  // 96/8 = 12 block cols; pcols = 5 does not divide 12.
+  EXPECT_THROW(AbftQr(rnd(96), 8, ProcessGrid{2, 5}),
+               common::precondition_error);
+}
+
+}  // namespace

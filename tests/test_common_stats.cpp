@@ -1,0 +1,121 @@
+// Tests for the streaming statistics used by the Monte-Carlo harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using abftc::common::Histogram;
+using abftc::common::RunningStats;
+using abftc::common::Sample;
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  RunningStats s;
+  const double xs[] = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 6.0;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= 5.0;
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  abftc::common::Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  abftc::common::Rng rng(2);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform01());
+  EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+  EXPECT_NEAR(large.ci95_halfwidth(),
+              1.959964 * large.stddev() / std::sqrt(10000.0), 1e-12);
+}
+
+TEST(Sample, QuantilesOfKnownSet) {
+  Sample s;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_NEAR(s.quantile(0.1), 1.4, 1e-12);  // interpolated
+}
+
+TEST(Sample, RejectsMisuse) {
+  Sample s;
+  EXPECT_THROW((void)s.quantile(0.5), abftc::common::precondition_error);
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(1.5), abftc::common::precondition_error);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), abftc::common::precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), abftc::common::precondition_error);
+}
+
+}  // namespace

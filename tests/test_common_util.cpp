@@ -1,0 +1,154 @@
+// Tests for tables, CLI parsing, time units, parallel_for and error macros.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/time_units.hpp"
+
+namespace {
+
+using namespace abftc::common;
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_DOUBLE_EQ(minutes(10), 600.0);
+  EXPECT_DOUBLE_EQ(hours(2), 7200.0);
+  EXPECT_DOUBLE_EQ(days(1), 86400.0);
+  EXPECT_DOUBLE_EQ(weeks(1), 604800.0);
+}
+
+TEST(TimeUnits, FormatAdaptsUnits) {
+  EXPECT_EQ(format_duration(0.0005), "500us");
+  EXPECT_EQ(format_duration(0.25), "250ms");
+  EXPECT_EQ(format_duration(90.0), "90s");
+  EXPECT_EQ(format_duration(600.0), "10min");
+  EXPECT_EQ(format_duration(7200.0), "2h");
+  EXPECT_EQ(format_duration(604800.0), "7d");
+  EXPECT_EQ(format_duration(2 * 604800.0), "2w");
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row_values({1.5, 2.25, 1e6});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsBadRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+  EXPECT_THROW(Table({}), precondition_error);
+}
+
+TEST(Table, GridPrintsAxes) {
+  std::ostringstream os;
+  print_grid(os, "demo", "x", {1.0, 2.0}, "y", {0.5, 0.7},
+             {{0.1, 0.2}, {0.3, 0.4}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("0.300"), std::string::npos);
+}
+
+TEST(Table, GridValidatesShape) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      print_grid(os, "demo", "x", {1.0, 2.0}, "y", {0.5}, {{0.1}}),
+      precondition_error);
+}
+
+TEST(Fmt, Helpers) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+}
+
+TEST(Cli, ParsesAllForms) {
+  // NB: a bare switch followed by a positional token would swallow it as a
+  // value, so bare switches go last (documented parser behaviour).
+  const char* argv[] = {"prog",       "--alpha=0.5", "--reps", "100",
+                        "positional", "--switch",    nullptr};
+  ArgParser args(6, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(args.get_int("reps", 0), 100);
+  EXPECT_TRUE(args.get_bool("switch", false));
+  EXPECT_FALSE(args.get_bool("absent", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=off", nullptr};
+  ArgParser args(4, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_FALSE(args.get_bool("c", true));
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--x=abc", nullptr};
+  ArgParser args(2, argv);
+  EXPECT_THROW((void)args.get_double("x", 0.0), precondition_error);
+  EXPECT_THROW((void)args.get_int("x", 0), precondition_error);
+}
+
+TEST(ParallelFor, ComputesAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(257, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialAndParallelAgree) {
+  std::atomic<long long> sum{0};
+  parallel_for(1000, [&](std::size_t i) { sum += static_cast<long long>(i); },
+               1);
+  const long long serial = sum.exchange(0);
+  parallel_for(1000, [&](std::size_t i) { sum += static_cast<long long>(i); },
+               8);
+  EXPECT_EQ(serial, sum.load());
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
+}
+
+TEST(ErrorMacros, CarryContext) {
+  try {
+    ABFTC_REQUIRE(1 == 2, "custom message");
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+  }
+  EXPECT_THROW(ABFTC_CHECK(false, "invariant"), invariant_error);
+}
+
+}  // namespace

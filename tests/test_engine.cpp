@@ -1,0 +1,159 @@
+// Tests for the DES engine, the event queue, and the event-driven periodic
+// executor's exact equivalence with the segment-walk implementation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "sim/des_periodic.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace abftc;
+using namespace abftc::sim;
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(3); });  // same time, later insert
+  while (!q.empty()) {
+    auto ev = q.pop();
+    ev.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel reports failure
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto early = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, RejectsNullAndEmptyMisuse) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(0.0, nullptr), common::precondition_error);
+  EXPECT_THROW((void)q.next_time(), common::precondition_error);
+  EXPECT_THROW((void)q.pop(), common::precondition_error);
+}
+
+TEST(Engine, AdvancesClockThroughEvents) {
+  Engine e;
+  std::vector<double> times;
+  e.at(3.0, [&] { times.push_back(e.now()); });
+  e.in(1.0, [&] { times.push_back(e.now()); });
+  const auto fired = e.run();
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) e.in(1.0, tick);
+  };
+  e.in(1.0, tick);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int count = 0;
+  e.at(1.0, [&] { ++count; });
+  e.at(10.0, [&] { ++count; });
+  e.run_until(5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_TRUE(e.pending());
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int count = 0;
+  e.at(1.0, [&] {
+    ++count;
+    e.stop();
+  });
+  e.at(2.0, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.at(1.0, [] {}), common::precondition_error);
+  EXPECT_THROW(e.in(-1.0, [] {}), common::precondition_error);
+}
+
+// --- DES executor equivalence ---------------------------------------------
+
+class DesEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DesEquivalence, MatchesSegmentWalkBitExactly) {
+  const auto [mtbf, seed] = GetParam();
+  const double work = 20000, period = 700, ckpt = 70, tail = 35,
+               recovery = 120, downtime = 10;
+
+  AggregateFailureClock c1(std::make_unique<ExponentialArrivals>(mtbf),
+                           common::Rng(seed));
+  SimState s1;
+  s1.clock = &c1;
+  run_periodic_stream(s1, work, period, ckpt, tail, recovery, downtime);
+
+  AggregateFailureClock c2(std::make_unique<ExponentialArrivals>(mtbf),
+                           common::Rng(seed));
+  SimState s2;
+  s2.clock = &c2;
+  Engine engine;
+  des_periodic_stream(engine, s2, work, period, ckpt, tail, recovery,
+                      downtime);
+
+  EXPECT_DOUBLE_EQ(s1.now, s2.now);
+  EXPECT_EQ(s1.failures, s2.failures);
+  EXPECT_DOUBLE_EQ(s1.acc.useful, s2.acc.useful);
+  EXPECT_DOUBLE_EQ(s1.acc.ckpt, s2.acc.ckpt);
+  EXPECT_DOUBLE_EQ(s1.acc.lost, s2.acc.lost);
+  EXPECT_DOUBLE_EQ(s1.acc.downtime, s2.acc.downtime);
+  EXPECT_DOUBLE_EQ(s1.acc.recovery, s2.acc.recovery);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, DesEquivalence,
+    ::testing::Combine(::testing::Values(500.0, 2000.0, 50000.0),
+                       ::testing::Values(1u, 2u, 3u, 42u)));
+
+TEST(DesPeriodic, FaultFreeTimeExact) {
+  AggregateFailureClock clock(std::make_unique<ExponentialArrivals>(1e15),
+                              common::Rng(1));
+  SimState st;
+  st.clock = &clock;
+  Engine engine;
+  // 3 chunks of 90 + 2 intermediate ckpts of 10 + tail of 5.
+  des_periodic_stream(engine, st, 270.0, 100.0, 10.0, 5.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(st.now, 270.0 + 2 * 10.0 + 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the failure arrival processes (Section V-A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/error.hpp"
+#include "sim/failures.hpp"
+
+namespace {
+
+using namespace abftc;
+using namespace abftc::sim;
+
+TEST(InterArrival, ExponentialMean) {
+  ExponentialArrivals d(100.0);
+  common::Rng rng(1);
+  common::RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(d.sample(rng));
+  EXPECT_NEAR(s.mean(), 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0);
+}
+
+TEST(InterArrival, WeibullFromMeanHitsMean) {
+  const auto d = WeibullArrivals::from_mean(0.7, 250.0);
+  EXPECT_NEAR(d.mean(), 250.0, 1e-9);
+  common::Rng rng(2);
+  common::RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(d.sample(rng));
+  EXPECT_NEAR(s.mean(), 250.0, 7.0);
+}
+
+TEST(InterArrival, LogNormalMeanAndCv) {
+  LogNormalArrivals d(100.0, 1.5);
+  common::Rng rng(3);
+  common::RunningStats s;
+  for (int i = 0; i < 400000; ++i) s.add(d.sample(rng));
+  EXPECT_NEAR(s.mean(), 100.0, 3.0);
+  EXPECT_NEAR(s.stddev() / s.mean(), 1.5, 0.1);
+}
+
+TEST(InterArrival, RejectsBadParameters) {
+  EXPECT_THROW(ExponentialArrivals(0.0), common::precondition_error);
+  EXPECT_THROW(WeibullArrivals(0.0, 1.0), common::precondition_error);
+  EXPECT_THROW(LogNormalArrivals(1.0, 0.0), common::precondition_error);
+}
+
+TEST(AggregateClock, StrictlyIncreasingAndMonotoneQueries) {
+  AggregateFailureClock clock(std::make_unique<ExponentialArrivals>(50.0),
+                              common::Rng(7));
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double f = clock.next_after(t);
+    EXPECT_GT(f, t);
+    // Re-querying with the same t must return the same instant.
+    EXPECT_DOUBLE_EQ(clock.next_after(t), f);
+    t = f;
+  }
+}
+
+TEST(AggregateClock, QueryWithoutAdvanceDoesNotConsume) {
+  AggregateFailureClock clock(std::make_unique<ExponentialArrivals>(50.0),
+                              common::Rng(7));
+  const double f1 = clock.next_after(0.0);
+  const double f2 = clock.next_after(0.0);
+  const double f3 = clock.next_after(f1 / 2.0);
+  EXPECT_DOUBLE_EQ(f1, f2);
+  EXPECT_DOUBLE_EQ(f1, f3);
+}
+
+TEST(AggregateClock, FailureRateMatchesMtbf) {
+  const double mtbf = 100.0;
+  AggregateFailureClock clock(std::make_unique<ExponentialArrivals>(mtbf),
+                              common::Rng(9));
+  double t = 0.0;
+  int count = 0;
+  const double horizon = 1e6;
+  while (true) {
+    t = clock.next_after(t);
+    if (t > horizon) break;
+    ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count), horizon / mtbf,
+              3.0 * std::sqrt(horizon / mtbf));
+}
+
+TEST(NodeClock, AggregateOfExponentialsMatchesPlatformMtbf) {
+  // N nodes of MTBF N·µ aggregate to a platform MTBF of µ.
+  const std::size_t nodes = 64;
+  const double platform_mtbf = 40.0;
+  NodeFailureClock clock(
+      std::make_unique<ExponentialArrivals>(platform_mtbf * nodes), nodes,
+      common::Rng(11));
+  double t = 0.0;
+  int count = 0;
+  const double horizon = 2e5;
+  while (true) {
+    t = clock.next_after(t);
+    if (t > horizon) break;
+    t += 1e-9;
+    ++count;
+  }
+  const double expect = horizon / platform_mtbf;
+  EXPECT_NEAR(static_cast<double>(count), expect, 4.0 * std::sqrt(expect));
+}
+
+TEST(NodeClock, ReportsFailingNode) {
+  const std::size_t nodes = 8;
+  NodeFailureClock clock(std::make_unique<ExponentialArrivals>(100.0), nodes,
+                         common::Rng(13));
+  std::vector<int> hits(nodes, 0);
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto f = clock.next_failure_after(t);
+    ASSERT_LT(f.node, nodes);
+    ++hits[f.node];
+    t = f.time;
+  }
+  for (const int h : hits) EXPECT_GT(h, 300);  // all nodes fail sometimes
+}
+
+TEST(NodeClock, RejectsZeroNodes) {
+  EXPECT_THROW(NodeFailureClock(std::make_unique<ExponentialArrivals>(1.0), 0,
+                                common::Rng(1)),
+               common::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// E6: the paper's qualitative evaluation claims (Section V), asserted
+// directly so a regression in any model/simulator component that would
+// change a published conclusion fails the suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/time_units.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/scaling.hpp"
+
+namespace {
+
+using namespace abftc;
+using namespace abftc::core;
+using common::minutes;
+
+constexpr ModelOptions kNoSafeguard{.safeguard = false};
+
+// --- Figure 7 claims -------------------------------------------------------
+
+TEST(Fig7Claims, PureWasteIsAFunctionOfMtbfOnly) {
+  for (const double mtbf_min : {60.0, 120.0, 240.0}) {
+    const double w0 =
+        evaluate_pure(figure7_scenario(minutes(mtbf_min), 0.0)).waste();
+    for (double alpha = 0.1; alpha <= 1.0; alpha += 0.1)
+      EXPECT_NEAR(
+          evaluate_pure(figure7_scenario(minutes(mtbf_min), alpha)).waste(),
+          w0, 1e-9);
+  }
+}
+
+TEST(Fig7Claims, BiWasteMinimalAtAlphaOne) {
+  double prev = 1.0;
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double w = evaluate_bi(figure7_scenario(minutes(120), alpha)).waste();
+    EXPECT_LE(w, prev + 1e-9) << alpha;
+    prev = w;
+  }
+}
+
+TEST(Fig7Claims, CompositeBenefitVisibleAtHalfAlpha) {
+  // "When 50% of the time is spent in the LIBRARY routine, the benefit,
+  // compared to PurePeriodicCkpt, but also compared to BiPeriodicCkpt, is
+  // already visible."
+  const auto s = figure7_scenario(minutes(120), 0.5);
+  const double comp = evaluate_composite(s).waste();
+  EXPECT_LT(comp, evaluate_bi(s).waste() - 0.02);
+  EXPECT_LT(comp, evaluate_pure(s).waste() - 0.02);
+}
+
+TEST(Fig7Claims, CompositeTendsToPhiOverheadAtAlphaOne) {
+  // "the overhead tends to reach the overhead induced by the slowdown
+  // factor of ABFT (phi = 1.03, hence 3% overhead)" — at large MTBF.
+  const double w =
+      evaluate_composite(figure7_scenario(minutes(240 * 60), 1.0)).waste();
+  EXPECT_NEAR(w, 1.0 - 1.0 / 1.03, 0.005);
+}
+
+TEST(Fig7Claims, ModelSimGapSmallAndLargestAtSmallMtbf) {
+  // |WASTE_simul − WASTE_model| ≤ 0.12 at MTBF = 60 min, < 0.05 at 240 min.
+  MonteCarloOptions mc;
+  mc.replicates = 300;
+  for (const auto protocol :
+       {Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt}) {
+    const auto s60 = figure7_scenario(minutes(60), 0.6);
+    const auto s240 = figure7_scenario(minutes(240), 0.6);
+    const double gap60 = std::fabs(
+        monte_carlo(protocol, s60, {}, mc).waste.mean() -
+        evaluate(protocol, s60).waste());
+    const double gap240 = std::fabs(
+        monte_carlo(protocol, s240, {}, mc).waste.mean() -
+        evaluate(protocol, s240).waste());
+    EXPECT_LT(gap60, 0.12);
+    EXPECT_LT(gap240, 0.05);
+    EXPECT_LT(gap240, gap60 + 0.01);
+  }
+}
+
+// --- Figure 8 claims -------------------------------------------------------
+
+TEST(Fig8Claims, CompositeWorseBelowCrossoverBetterAbove) {
+  const auto cfg = figure8_config();
+  const auto waste = [&](Protocol p, double nodes) {
+    return evaluate(p, scenario_at(cfg, nodes), kNoSafeguard).waste();
+  };
+  // "Up to approximately 100,000 nodes, the fault-free overhead of ABFT
+  // negatively impacts the waste."
+  EXPECT_GT(waste(Protocol::AbftPeriodicCkpt, 1e3),
+            waste(Protocol::PurePeriodicCkpt, 1e3));
+  EXPECT_GT(waste(Protocol::AbftPeriodicCkpt, 1e4),
+            waste(Protocol::PurePeriodicCkpt, 1e4));
+  // Beyond the crossover the composite scales better.
+  EXPECT_LT(waste(Protocol::AbftPeriodicCkpt, 3e5),
+            waste(Protocol::PurePeriodicCkpt, 3e5));
+  EXPECT_LT(waste(Protocol::AbftPeriodicCkpt, 1e6),
+            0.5 * waste(Protocol::PurePeriodicCkpt, 1e6));
+}
+
+TEST(Fig8Claims, PeriodicProtocolsSufferMoreFailures) {
+  const auto cfg = figure8_config();
+  const auto s = scenario_at(cfg, 1e6);
+  const double mu = s.platform.mtbf;
+  const auto flt = [&](Protocol p) {
+    return evaluate(p, s, kNoSafeguard).expected_failures(mu);
+  };
+  EXPECT_GT(flt(Protocol::PurePeriodicCkpt),
+            flt(Protocol::AbftPeriodicCkpt));
+  EXPECT_GT(flt(Protocol::BiPeriodicCkpt), flt(Protocol::AbftPeriodicCkpt));
+}
+
+TEST(Fig8Claims, BiTracksPureClosely) {
+  // "both approaches perform similarly with respect to the number of nodes"
+  const auto cfg = figure8_config();
+  for (const double nodes : {1e3, 1e4, 1e5, 1e6}) {
+    const auto s = scenario_at(cfg, nodes);
+    const double pure = evaluate_pure(s).waste();
+    const double bi = evaluate_bi(s).waste();
+    EXPECT_LE(bi, pure + 1e-9);
+    EXPECT_GT(bi, pure - 0.05);
+  }
+}
+
+// --- Figure 9 claims -------------------------------------------------------
+
+TEST(Fig9Claims, AlphaGrowsWithNodesAndMatchesLabels) {
+  const auto cfg = figure9_config();
+  EXPECT_NEAR(alpha_at(cfg, 1e3), 0.55, 0.01);
+  EXPECT_NEAR(alpha_at(cfg, 1e6), 0.975, 0.002);
+}
+
+TEST(Fig9Claims, FewerFailuresThanFig8) {
+  const auto s8 = scenario_at(figure8_config(), 1e6);
+  const auto s9 = scenario_at(figure9_config(), 1e6);
+  EXPECT_LT(evaluate_pure(s9).expected_failures(s9.platform.mtbf),
+            evaluate_pure(s8).expected_failures(s8.platform.mtbf));
+}
+
+TEST(Fig9Claims, CompositeAdvantageGrowsWithScale) {
+  const auto cfg = figure9_config();
+  const auto advantage = [&](double nodes) {
+    const auto s = scenario_at(cfg, nodes);
+    return evaluate_pure(s).waste() -
+           evaluate_composite(s, kNoSafeguard).waste();
+  };
+  EXPECT_GT(advantage(1e6), advantage(1e5));
+  EXPECT_GT(advantage(1e5), advantage(1e4));
+}
+
+// --- Figure 10 claims ------------------------------------------------------
+
+TEST(Fig10Claims, PeriodicProtocolsStayBelow15PercentAt1M) {
+  const auto s = scenario_at(figure10_config(), 1e6);
+  EXPECT_LT(evaluate_pure(s).waste(), 0.15);
+  EXPECT_LT(evaluate_bi(s).waste(), 0.15);
+}
+
+TEST(Fig10Claims, CompositeWasteNearlyConstantInScale) {
+  // "the ABFT technique ... appears to present a waste that is almost
+  // constant when the number of nodes increases."
+  const auto cfg = figure10_config();
+  double lo = 1.0, hi = 0.0;
+  for (const double nodes : {3.2e4, 1e5, 3.2e5, 1e6}) {
+    const double w =
+        evaluate_composite(scenario_at(cfg, nodes), kNoSafeguard).waste();
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_LT(hi - lo, 0.03);
+}
+
+TEST(Fig10Claims, CompositeStillWinsAt1M) {
+  const auto s = scenario_at(figure10_config(), 1e6);
+  EXPECT_LT(evaluate_composite(s, kNoSafeguard).waste(),
+            evaluate_pure(s).waste());
+}
+
+TEST(Fig10Claims, SixSecondCheckpointsMatchComposite) {
+  // "To reach comparable performance, we must reduce checkpointing overhead
+  // by a factor of 10 and use C = R = 6s."
+  auto cfg = figure10_config();
+  const double comp =
+      evaluate_composite(scenario_at(cfg, 1e6), kNoSafeguard).waste();
+  cfg.base_ckpt = 6.0;
+  const double pure6 = evaluate_pure(scenario_at(cfg, 1e6)).waste();
+  EXPECT_NEAR(pure6, comp, 0.02);
+}
+
+// --- literal-text sanity (documented deviation) ---------------------------
+
+TEST(LiteralConfig, DivergesExactlyWhereDocumented) {
+  const auto cfg = figure8_literal_config();
+  EXPECT_FALSE(evaluate_pure(scenario_at(cfg, 1e4)).diverged);
+  EXPECT_TRUE(evaluate_pure(scenario_at(cfg, 1e6)).diverged);
+}
+
+}  // namespace

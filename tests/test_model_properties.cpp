@@ -1,0 +1,155 @@
+// Property tests: monotonicity and dominance guarantees of the waste models
+// that hold across the whole parameter space (not just at the paper's
+// operating points). A violation of any of these would mean the model
+// recommends a protocol for the wrong reason.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/time_units.hpp"
+#include "core/protocol_models.hpp"
+
+namespace {
+
+using namespace abftc;
+using namespace abftc::core;
+using common::hours;
+using common::minutes;
+
+class ProtocolSweep : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolSweep, WasteNonIncreasingInMtbf) {
+  const Protocol p = GetParam();
+  for (const double alpha : {0.0, 0.4, 0.8, 1.0}) {
+    double prev = 1.1;
+    for (const double mtbf_min : {40.0, 60.0, 90.0, 150.0, 300.0, 1000.0}) {
+      const double w =
+          evaluate(p, figure7_scenario(minutes(mtbf_min), alpha)).waste();
+      EXPECT_LE(w, prev + 1e-9)
+          << to_string(p) << " alpha=" << alpha << " mtbf=" << mtbf_min;
+      prev = w;
+    }
+  }
+}
+
+TEST_P(ProtocolSweep, WasteNonDecreasingInCheckpointCost) {
+  const Protocol p = GetParam();
+  double prev = -1.0;
+  for (const double c_min : {1.0, 5.0, 10.0, 20.0, 40.0}) {
+    auto s = figure7_scenario(hours(2), 0.7);
+    s.ckpt.full_cost = minutes(c_min);
+    s.ckpt.full_recovery = minutes(c_min);
+    const double w = evaluate(p, s).waste();
+    EXPECT_GE(w, prev - 1e-9) << to_string(p) << " C=" << c_min << "min";
+    prev = w;
+  }
+}
+
+TEST_P(ProtocolSweep, WasteNonDecreasingInDowntime) {
+  const Protocol p = GetParam();
+  double prev = -1.0;
+  for (const double d : {0.0, 30.0, 120.0, 600.0}) {
+    auto s = figure7_scenario(hours(2), 0.7);
+    s.platform.downtime = d;
+    const double w = evaluate(p, s).waste();
+    EXPECT_GE(w, prev - 1e-9) << to_string(p) << " D=" << d;
+    prev = w;
+  }
+}
+
+TEST_P(ProtocolSweep, WasteInUnitIntervalAcrossGrid) {
+  const Protocol p = GetParam();
+  for (double alpha = 0.0; alpha <= 1.0; alpha += 0.125)
+    for (const double mtbf_min : {30.0, 75.0, 200.0, 2000.0})
+      for (const double rho : {0.1, 0.5, 0.9}) {
+        auto s = figure7_scenario(minutes(mtbf_min), alpha);
+        s.ckpt.rho = rho;
+        const double w = evaluate(p, s).waste();
+        EXPECT_GE(w, 0.0);
+        EXPECT_LE(w, 1.0);
+        EXPECT_TRUE(std::isfinite(w));
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolSweep,
+                         ::testing::Values(Protocol::PurePeriodicCkpt,
+                                           Protocol::BiPeriodicCkpt,
+                                           Protocol::AbftPeriodicCkpt),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param) ==
+                                                      "ABFT&PeriodicCkpt"
+                                                  ? "Composite"
+                                                  : to_string(info.param));
+                         });
+
+TEST(ModelDominance, BiNeverWorseThanPure) {
+  // Incremental checkpointing can only shrink checkpoints; Eq. 13/14 and
+  // the stream mode must both respect dominance.
+  for (double alpha = 0.0; alpha <= 1.0; alpha += 0.1)
+    for (const double mtbf_min : {45.0, 90.0, 180.0, 720.0})
+      for (const double rho : {0.2, 0.6, 0.9}) {
+        auto s = figure7_scenario(minutes(mtbf_min), alpha);
+        s.ckpt.rho = rho;
+        EXPECT_LE(evaluate_bi(s).waste(),
+                  evaluate_pure(s).waste() + 1e-9)
+            << "alpha=" << alpha << " mtbf=" << mtbf_min << " rho=" << rho;
+      }
+}
+
+TEST(ModelDominance, SafeguardedCompositeNeverWorseThanBi) {
+  // The safeguard's contract: fall back to BiPeriodicCkpt whenever ABFT
+  // would not pay off, so the guarded composite is min(ABFT, Bi) — up to
+  // the model's own granularity.
+  for (double alpha = 0.1; alpha <= 1.0; alpha += 0.2)
+    for (const double mtbf_min : {60.0, 120.0, 480.0}) {
+      const auto s = figure7_scenario(minutes(mtbf_min), alpha);
+      EXPECT_LE(evaluate_composite(s, {.safeguard = true}).waste(),
+                evaluate_bi(s).waste() + 1e-9)
+          << "alpha=" << alpha << " mtbf=" << mtbf_min;
+    }
+}
+
+TEST(ModelDominance, CompositeWasteNonDecreasingInPhi) {
+  double prev = -1.0;
+  for (const double phi : {1.0, 1.02, 1.05, 1.2, 1.5}) {
+    auto s = figure7_scenario(hours(2), 0.8);
+    s.abft.phi = phi;
+    const double w = evaluate_composite(s, {.safeguard = false}).waste();
+    EXPECT_GE(w, prev - 1e-9) << "phi=" << phi;
+    prev = w;
+  }
+}
+
+TEST(ModelDominance, CompositeWasteNonDecreasingInRecons) {
+  double prev = -1.0;
+  for (const double recons : {0.0, 2.0, 60.0, 600.0, 3600.0}) {
+    auto s = figure7_scenario(hours(2), 0.8);
+    s.abft.recons = recons;
+    const double w = evaluate_composite(s, {.safeguard = false}).waste();
+    EXPECT_GE(w, prev - 1e-9) << "recons=" << recons;
+    prev = w;
+  }
+}
+
+TEST(ModelDominance, MoreEpochsSameWastePerEpochProtocols) {
+  // Waste is an intensive quantity: replicating identical epochs must not
+  // change it (the model multiplies times, not rates).
+  for (const auto p : {Protocol::BiPeriodicCkpt, Protocol::AbftPeriodicCkpt}) {
+    auto s1 = figure7_scenario(hours(2), 0.8);
+    auto s8 = s1;
+    s8.epochs = 8;
+    EXPECT_NEAR(evaluate(p, s1).waste(), evaluate(p, s8).waste(), 1e-12)
+        << to_string(p);
+  }
+}
+
+TEST(ModelDominance, ExactPeriodOptionNeverHurts) {
+  for (const double mtbf_min : {30.0, 60.0, 120.0, 480.0}) {
+    const auto s = figure7_scenario(minutes(mtbf_min), 0.5);
+    EXPECT_LE(evaluate_pure(s, {.exact_period = true}).waste(),
+              evaluate_pure(s, {.exact_period = false}).waste() + 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the live composite runtime (the executable Figure 2 protocol).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+#include <array>
+#include <numeric>
+
+#include "core/runtime.hpp"
+
+namespace {
+
+using namespace abftc;
+using core::CompositeRuntime;
+
+struct App {
+  std::array<double, 16> data{};     // REMAINDER
+  std::array<double, 32> library{};  // LIBRARY
+  ckpt::MemoryImage image;
+  ckpt::RegionId data_id, lib_id;
+
+  App() {
+    std::iota(data.begin(), data.end(), 0.0);
+    std::iota(library.begin(), library.end(), 100.0);
+    data_id = image.add_region("data", std::span<double>(data),
+                               ckpt::RegionClass::Remainder);
+    lib_id = image.add_region("library", std::span<double>(library),
+                              ckpt::RegionClass::Library);
+  }
+};
+
+TEST(CompositeRuntime, TakesInitialFullCheckpoint) {
+  App app;
+  CompositeRuntime rt(app.image);
+  EXPECT_EQ(rt.stats().full_checkpoints, 1u);
+  EXPECT_TRUE(rt.store().has_restore_point());
+}
+
+TEST(CompositeRuntime, GeneralPhaseRunsWork) {
+  App app;
+  CompositeRuntime rt(app.image);
+  rt.run_general_phase([&] { app.data[0] = 42.0; });
+  EXPECT_DOUBLE_EQ(app.data[0], 42.0);
+  EXPECT_EQ(rt.stats().rollbacks, 0u);
+}
+
+TEST(CompositeRuntime, GeneralFailureRollsBackAndReexecutes) {
+  App app;
+  CompositeRuntime rt(app.image);
+  int executions = 0;
+  rt.run_general_phase(
+      [&] {
+        ++executions;
+        app.data[3] += 1.0;  // must not double-apply across retries
+        app.image.mark_dirty(app.data_id);
+      },
+      /*failures_before_success=*/2);
+  EXPECT_EQ(executions, 3);
+  EXPECT_EQ(rt.stats().rollbacks, 2u);
+  EXPECT_DOUBLE_EQ(app.data[3], 3.0 + 1.0);  // initial value 3 plus one +1
+}
+
+TEST(CompositeRuntime, LibraryPhaseTakesSplitCheckpoint) {
+  App app;
+  CompositeRuntime rt(app.image);
+  rt.run_library_phase([&](const std::function<void()>&) {
+    app.library[0] = -1.0;
+    app.image.mark_dirty(app.lib_id);
+  });
+  EXPECT_EQ(rt.stats().entry_checkpoints, 1u);
+  EXPECT_EQ(rt.stats().exit_checkpoints, 1u);
+  // After the split checkpoint, a scramble must restore the -1.
+  for (auto& d : app.data) d = -99.0;
+  for (auto& l : app.library) l = -99.0;
+  rt.store().restore_latest(app.image);
+  EXPECT_DOUBLE_EQ(app.library[0], -1.0);
+  EXPECT_DOUBLE_EQ(app.data[1], 1.0);
+}
+
+TEST(CompositeRuntime, AbftRecoveryRestoresRemainderOnly) {
+  App app;
+  CompositeRuntime rt(app.image);
+  rt.run_library_phase([&](const std::function<void()>& on_recovery) {
+    // The "kernel" updates library data, then a failure strikes: the
+    // remainder is clobbered (node loss) and the kernel reconstructs its
+    // own data; on_recovery must bring the remainder back.
+    app.library[7] = 777.0;
+    for (auto& d : app.data) d = -5.0;
+    on_recovery();
+    EXPECT_DOUBLE_EQ(app.data[4], 4.0);      // restored from entry ckpt
+    EXPECT_DOUBLE_EQ(app.library[7], 777.0);  // left to the ABFT kernel
+  });
+  EXPECT_EQ(rt.stats().abft_recoveries, 1u);
+  EXPECT_EQ(rt.stats().remainder_restores, 1u);
+}
+
+TEST(CompositeRuntime, PeriodicCheckpointAdvancesRestorePoint) {
+  App app;
+  CompositeRuntime rt(app.image);
+  app.data[0] = 11.0;
+  app.image.mark_dirty(app.data_id);
+  rt.periodic_checkpoint();
+  app.data[0] = 22.0;
+  rt.run_general_phase([&] { app.data[1] = 1.0; },
+                       /*failures_before_success=*/1);
+  // Rollback went to the periodic checkpoint (data[0] == 11), then work
+  // re-ran.
+  EXPECT_DOUBLE_EQ(app.data[0], 11.0);
+  EXPECT_DOUBLE_EQ(app.data[1], 1.0);
+}
+
+TEST(CompositeRuntime, SequenceOfEpochsKeepsStateConsistent) {
+  App app;
+  CompositeRuntime rt(app.image);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    rt.run_general_phase(
+        [&] {
+          app.data[0] += 1.0;
+          app.image.mark_dirty(app.data_id);
+        },
+        epoch == 2 ? 1 : 0);
+    rt.run_library_phase([&](const std::function<void()>& on_recovery) {
+      app.library[0] = app.data[0] * 10.0;
+      app.image.mark_dirty(app.lib_id);
+      if (epoch == 3) on_recovery();
+    });
+  }
+  EXPECT_DOUBLE_EQ(app.data[0], 4.0);
+  EXPECT_DOUBLE_EQ(app.library[0], 40.0);
+  EXPECT_EQ(rt.stats().entry_checkpoints, 4u);
+  EXPECT_EQ(rt.stats().exit_checkpoints, 4u);
+  EXPECT_EQ(rt.stats().rollbacks, 1u);
+  EXPECT_EQ(rt.stats().abft_recoveries, 1u);
+}
+
+TEST(CompositeRuntime, RejectsNullWork) {
+  App app;
+  CompositeRuntime rt(app.image);
+  EXPECT_THROW(rt.run_general_phase(nullptr), common::precondition_error);
+  EXPECT_THROW(rt.run_library_phase(nullptr), common::precondition_error);
+}
+
+TEST(CompositeRuntime, RequiresRegisteredRegions) {
+  ckpt::MemoryImage empty;
+  EXPECT_THROW(CompositeRuntime rt(empty), common::precondition_error);
+}
+
+}  // namespace
