@@ -1,0 +1,137 @@
+/// \file bench_kernels_json.cpp
+/// Dependency-free GFLOP/s probe for the kernel layer: times naive vs
+/// blocked GEMM (and the blocked path at several thread counts) and emits
+/// BENCH_kernels.json — the perf-trajectory artifact CI tracks across PRs.
+///
+///   bench_kernels_json [sizes…] --reps=3 --out=BENCH_kernels.json
+///
+/// Sizes default to 256 and 512. Each (size, path, threads) cell reports the
+/// best of `reps` runs plus the max-abs deviation of the blocked result from
+/// the naive one.
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "abft/blas.hpp"
+#include "abft/kernels.hpp"
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+
+using namespace abftc;
+using abft::Matrix;
+
+namespace {
+
+struct Cell {
+  std::size_t n = 0;
+  std::string path;
+  unsigned threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double max_abs_diff_vs_naive = 0.0;
+};
+
+double time_best(int reps, const std::function<void()>& run) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    best = std::min(best, dt);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const std::string out_path = args.get_string("out", "BENCH_kernels.json");
+
+  std::vector<std::size_t> sizes;
+  for (const std::string& p : args.positional()) {
+    // std::stoul wraps negatives, so validate the digits ourselves.
+    const bool digits_only =
+        !p.empty() && p.find_first_not_of("0123456789") == std::string::npos;
+    std::size_t n = 0;
+    if (digits_only) {
+      try {
+        n = static_cast<std::size_t>(std::stoul(p));
+      } catch (const std::exception&) {
+        n = 0;  // out of range
+      }
+    }
+    if (n == 0 || n > 100000) {
+      std::cerr << "error: matrix size must be a positive integer (≤ 100000), "
+                   "got '"
+                << p << "'\n";
+      return 2;
+    }
+    sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes = {256, 512};
+
+  const unsigned hw = common::effective_threads(0);
+  std::vector<unsigned> thread_counts{1};
+  for (unsigned t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
+
+  std::vector<Cell> cells;
+  for (const std::size_t n : sizes) {
+    common::Rng rng(5);
+    const Matrix a = Matrix::random(n, n, rng);
+    const Matrix b = Matrix::random(n, n, rng);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+    Matrix c_naive(n, n, 0.0);
+    Cell naive{n, "naive", 1, 0.0, 0.0, 0.0};
+    naive.seconds = time_best(reps, [&] {
+      abft::naive_gemm(1.0, a.view(), abft::Trans::No, b.view(),
+                       abft::Trans::No, 0.0, c_naive.view());
+    });
+    naive.gflops = flops / naive.seconds / 1e9;
+    cells.push_back(naive);
+
+    for (const unsigned t : thread_counts) {
+      Matrix c_blocked(n, n, 0.0);
+      Cell blocked{n, "blocked", t, 0.0, 0.0, 0.0};
+      blocked.seconds = time_best(reps, [&] {
+        abft::blocked_gemm(1.0, a.view(), abft::Trans::No, b.view(),
+                           abft::Trans::No, 0.0, c_blocked.view(), t);
+      });
+      blocked.gflops = flops / blocked.seconds / 1e9;
+      blocked.max_abs_diff_vs_naive = abft::max_abs_diff(c_blocked, c_naive);
+      cells.push_back(blocked);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+    return 2;
+  }
+  out << "{\n  \"bench\": \"abft_kernels_gemm\",\n  \"hardware_threads\": "
+      << hw << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"n\": " << c.n << ", \"path\": \"" << c.path
+        << "\", \"threads\": " << c.threads << ", \"seconds\": " << c.seconds
+        << ", \"gflops\": " << c.gflops
+        << ", \"max_abs_diff_vs_naive\": " << c.max_abs_diff_vs_naive << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  for (const Cell& c : cells)
+    std::cout << "n=" << c.n << " path=" << c.path << " threads=" << c.threads
+              << " time=" << c.seconds << "s gflops=" << c.gflops
+              << " maxdiff=" << c.max_abs_diff_vs_naive << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

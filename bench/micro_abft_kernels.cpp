@@ -12,6 +12,7 @@
 #include "abft/abft_lu.hpp"
 #include "abft/abft_qr.hpp"
 #include "abft/blas.hpp"
+#include "abft/kernels.hpp"
 
 using namespace abftc;
 using abft::Matrix;
@@ -88,6 +89,65 @@ void BM_PlainGemm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlainGemm)->Arg(128)->Arg(256);
+
+// A/B the two kernel paths directly (bypassing the policy dispatcher):
+// these ratios ground the φ overhead constant in realistic kernel speed.
+void BM_GemmNaivePath(benchmark::State& state) {
+  common::Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    abft::naive_gemm(1.0, a.view(), abft::Trans::No, b.view(), abft::Trans::No,
+                     0.0, c.view());
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * double(n) * double(n) * double(n) * double(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaivePath)->Arg(256)->Arg(512);
+
+void BM_GemmBlockedPath(benchmark::State& state) {
+  common::Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    abft::blocked_gemm(1.0, a.view(), abft::Trans::No, b.view(),
+                       abft::Trans::No, 0.0, c.view(), threads);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * double(n) * double(n) * double(n) * double(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlockedPath)
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
+
+void BM_AbftLuKernelPath(benchmark::State& state) {
+  // The full protected factorization under each kernel path: shows the
+  // end-to-end win of routing the trailing updates through the fast GEMM.
+  const auto a0 = dd_matrix(256);
+  const abft::KernelPolicyGuard guard(
+      {state.range(0) == 0 ? abft::KernelPath::naive
+                           : abft::KernelPath::blocked,
+       1});
+  for (auto _ : state) {
+    abft::AbftLu lu(a0, kNb, kGrid);
+    lu.factor();
+    benchmark::DoNotOptimize(lu.lu());
+  }
+}
+BENCHMARK(BM_AbftLuKernelPath)->Arg(0)->Arg(1);
 
 void BM_AbftGemm(benchmark::State& state) {
   common::Rng rng(5);

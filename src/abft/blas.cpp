@@ -5,61 +5,26 @@
 namespace abftc::abft {
 
 namespace {
+
 constexpr double kPivotTiny = 1e-13;
+
+// Block sizes for the blocked triangular solves and factorizations. The
+// diagonal blocks are handled by the reference loops; everything off the
+// diagonal is delegated to gemm, which carries the O(n³) work.
+constexpr std::size_t kTrsmNb = 64;
+constexpr std::size_t kFactorNb = 64;
+
+// Below these sizes the blocked algorithms would degenerate to a single
+// diagonal block anyway, so the dispatchers keep the reference loops.
+constexpr std::size_t kTrsmCutoff = 2 * kTrsmNb;
+constexpr std::size_t kFactorCutoff = 2 * kFactorNb;
+
+bool use_blocked() noexcept {
+  return kernel_policy().path == KernelPath::blocked;
 }
 
-void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
-          Trans tb, double beta, MatrixView c) {
-  const std::size_t m = (ta == Trans::No) ? a.rows() : a.cols();
-  const std::size_t k = (ta == Trans::No) ? a.cols() : a.rows();
-  const std::size_t kb = (tb == Trans::No) ? b.rows() : b.cols();
-  const std::size_t n = (tb == Trans::No) ? b.cols() : b.rows();
-  ABFTC_REQUIRE(k == kb, "gemm inner dimensions must match");
-  ABFTC_REQUIRE(c.rows() == m && c.cols() == n, "gemm output shape mismatch");
-
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) c(i, j) *= beta;
-
-  if (ta == Trans::No && tb == Trans::No) {
-    // ikj order: stream through rows of B for row-major locality.
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t p = 0; p < k; ++p) {
-        const double aip = alpha * a(i, p);
-        if (aip == 0.0) continue;
-        for (std::size_t j = 0; j < n; ++j) c(i, j) += aip * b(p, j);
-      }
-  } else if (ta == Trans::No && tb == Trans::Yes) {
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j) {
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += a(i, p) * b(j, p);
-        c(i, j) += alpha * s;
-      }
-  } else if (ta == Trans::Yes && tb == Trans::No) {
-    for (std::size_t p = 0; p < k; ++p)
-      for (std::size_t i = 0; i < m; ++i) {
-        const double api = alpha * a(p, i);
-        if (api == 0.0) continue;
-        for (std::size_t j = 0; j < n; ++j) c(i, j) += api * b(p, j);
-      }
-  } else {
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j) {
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += a(p, i) * b(j, p);
-        c(i, j) += alpha * s;
-      }
-  }
-}
-
-void gemm_sub(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  gemm(-1.0, a, Trans::No, b, Trans::No, 1.0, c);
-}
-
-void trsm_right_upper(ConstMatrixView u, MatrixView b) {
+void small_trsm_right_upper(ConstMatrixView u, MatrixView b) {
   const std::size_t n = u.rows();
-  ABFTC_REQUIRE(u.cols() == n, "triangular factor must be square");
-  ABFTC_REQUIRE(b.cols() == n, "shape mismatch in trsm_right_upper");
   // Solve X·U = B row by row: x_j = (b_j − Σ_{p<j} x_p u_pj) / u_jj.
   for (std::size_t i = 0; i < b.rows(); ++i)
     for (std::size_t j = 0; j < n; ++j) {
@@ -71,10 +36,8 @@ void trsm_right_upper(ConstMatrixView u, MatrixView b) {
     }
 }
 
-void trsm_left_lower_unit(ConstMatrixView l, MatrixView b) {
+void small_trsm_left_lower_unit(ConstMatrixView l, MatrixView b) {
   const std::size_t n = l.rows();
-  ABFTC_REQUIRE(l.cols() == n, "triangular factor must be square");
-  ABFTC_REQUIRE(b.rows() == n, "shape mismatch in trsm_left_lower_unit");
   // Forward substitution: row i of the solution depends on rows < i.
   for (std::size_t i = 1; i < n; ++i)
     for (std::size_t p = 0; p < i; ++p) {
@@ -84,10 +47,8 @@ void trsm_left_lower_unit(ConstMatrixView l, MatrixView b) {
     }
 }
 
-void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
+void small_trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
   const std::size_t n = l.rows();
-  ABFTC_REQUIRE(l.cols() == n, "triangular factor must be square");
-  ABFTC_REQUIRE(b.cols() == n, "shape mismatch in trsm_right_lower_trans");
   // Solve X·Lᵀ = B: x_j = (b_j − Σ_{p<j} x_p l_jp) / l_jj.
   for (std::size_t i = 0; i < b.rows(); ++i)
     for (std::size_t j = 0; j < n; ++j) {
@@ -99,9 +60,8 @@ void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
     }
 }
 
-void getf2_nopiv(MatrixView a) {
+void small_getf2(MatrixView a) {
   const std::size_t n = a.rows();
-  ABFTC_REQUIRE(a.cols() == n, "getf2_nopiv expects a square block");
   for (std::size_t k = 0; k < n; ++k) {
     ABFTC_CHECK(std::fabs(a(k, k)) > kPivotTiny,
                 "zero pivot in unpivoted LU (matrix not diagonally dominant?)");
@@ -114,9 +74,8 @@ void getf2_nopiv(MatrixView a) {
   }
 }
 
-void potf2_lower(MatrixView a) {
+void small_potf2(MatrixView a) {
   const std::size_t n = a.rows();
-  ABFTC_REQUIRE(a.cols() == n, "potf2 expects a square block");
   for (std::size_t j = 0; j < n; ++j) {
     double d = a(j, j);
     for (std::size_t p = 0; p < j; ++p) d -= a(j, p) * a(j, p);
@@ -127,6 +86,142 @@ void potf2_lower(MatrixView a) {
       double s = a(i, j);
       for (std::size_t p = 0; p < j; ++p) s -= a(i, p) * a(j, p);
       a(i, j) = s / ljj;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+          Trans tb, double beta, MatrixView c) {
+  const GemmShape s = gemm_shape(a, ta, b, tb, c);
+  if (gemm_uses_blocked_path(s.m, s.n, s.k))
+    blocked_gemm(alpha, a, ta, b, tb, beta, c, kernel_policy().threads);
+  else
+    naive_gemm(alpha, a, ta, b, tb, beta, c);
+}
+
+void gemm_sub(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  gemm(-1.0, a, Trans::No, b, Trans::No, 1.0, c);
+}
+
+void trsm_right_upper(ConstMatrixView u, MatrixView b) {
+  const std::size_t n = u.rows();
+  ABFTC_REQUIRE(u.cols() == n, "triangular factor must be square");
+  ABFTC_REQUIRE(b.cols() == n, "shape mismatch in trsm_right_upper");
+  if (!use_blocked() || n < kTrsmCutoff) {
+    small_trsm_right_upper(u, b);
+    return;
+  }
+  // Column-block j: X_j = (B_j − X_{<j}·U_{<j,j}) · U_jj⁻¹, the subtraction
+  // carried by gemm.
+  const std::size_t m = b.rows();
+  for (std::size_t j0 = 0; j0 < n; j0 += kTrsmNb) {
+    const std::size_t jb = std::min(kTrsmNb, n - j0);
+    MatrixView bj = b.block(0, j0, m, jb);
+    if (j0 > 0)
+      gemm(-1.0, b.block(0, 0, m, j0), Trans::No, u.block(0, j0, j0, jb),
+           Trans::No, 1.0, bj);
+    small_trsm_right_upper(u.block(j0, j0, jb, jb), bj);
+  }
+}
+
+void trsm_left_lower_unit(ConstMatrixView l, MatrixView b) {
+  const std::size_t n = l.rows();
+  ABFTC_REQUIRE(l.cols() == n, "triangular factor must be square");
+  ABFTC_REQUIRE(b.rows() == n, "shape mismatch in trsm_left_lower_unit");
+  if (!use_blocked() || n < kTrsmCutoff) {
+    small_trsm_left_lower_unit(l, b);
+    return;
+  }
+  // Row-block i: X_i = B_i − L_{i,<i}·X_{<i} (unit diagonal block solve).
+  for (std::size_t i0 = 0; i0 < n; i0 += kTrsmNb) {
+    const std::size_t ib = std::min(kTrsmNb, n - i0);
+    MatrixView bi = b.block(i0, 0, ib, b.cols());
+    if (i0 > 0)
+      gemm(-1.0, l.block(i0, 0, ib, i0), Trans::No, b.block(0, 0, i0, b.cols()),
+           Trans::No, 1.0, bi);
+    small_trsm_left_lower_unit(l.block(i0, i0, ib, ib), bi);
+  }
+}
+
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
+  const std::size_t n = l.rows();
+  ABFTC_REQUIRE(l.cols() == n, "triangular factor must be square");
+  ABFTC_REQUIRE(b.cols() == n, "shape mismatch in trsm_right_lower_trans");
+  if (!use_blocked() || n < kTrsmCutoff) {
+    small_trsm_right_lower_trans(l, b);
+    return;
+  }
+  // Column-block j: X_j = (B_j − X_{<j}·Lᵀ_{<j,j}) · L_jjᵀ⁻¹ where
+  // Lᵀ_{<j,j} = L(j0:,0:j0)ᵀ.
+  const std::size_t m = b.rows();
+  for (std::size_t j0 = 0; j0 < n; j0 += kTrsmNb) {
+    const std::size_t jb = std::min(kTrsmNb, n - j0);
+    MatrixView bj = b.block(0, j0, m, jb);
+    if (j0 > 0)
+      gemm(-1.0, b.block(0, 0, m, j0), Trans::No, l.block(j0, 0, jb, j0),
+           Trans::Yes, 1.0, bj);
+    small_trsm_right_lower_trans(l.block(j0, j0, jb, jb), bj);
+  }
+}
+
+void getf2_nopiv(MatrixView a) {
+  const std::size_t n = a.rows();
+  ABFTC_REQUIRE(a.cols() == n, "getf2_nopiv expects a square block");
+  if (!use_blocked() || n < kFactorCutoff) {
+    small_getf2(a);
+    return;
+  }
+  // Right-looking blocked LU: factor the diagonal block with the reference
+  // loops, solve the block row/column against it, push the trailing update
+  // through gemm.
+  for (std::size_t off = 0; off < n; off += kFactorNb) {
+    const std::size_t nb = std::min(kFactorNb, n - off);
+    const std::size_t rest = n - off - nb;
+    MatrixView diag = a.block(off, off, nb, nb);
+    small_getf2(diag);
+    if (rest == 0) break;
+    small_trsm_left_lower_unit(diag, a.block(off, off + nb, nb, rest));
+    small_trsm_right_upper(diag, a.block(off + nb, off, rest, nb));
+    gemm(-1.0, a.block(off + nb, off, rest, nb), Trans::No,
+         a.block(off, off + nb, nb, rest), Trans::No, 1.0,
+         a.block(off + nb, off + nb, rest, rest));
+  }
+}
+
+void potf2_lower(MatrixView a) {
+  const std::size_t n = a.rows();
+  ABFTC_REQUIRE(a.cols() == n, "potf2 expects a square block");
+  if (!use_blocked() || n < kFactorCutoff) {
+    small_potf2(a);
+    return;
+  }
+  // Right-looking blocked Cholesky restricted to the lower triangle: the
+  // strictly-below-diagonal part of each trailing block column goes through
+  // gemm; diagonal blocks keep a scalar loop so entries above the diagonal
+  // are never written (matching the reference kernel's contract).
+  for (std::size_t off = 0; off < n; off += kFactorNb) {
+    const std::size_t nb = std::min(kFactorNb, n - off);
+    const std::size_t rest = n - off - nb;
+    MatrixView diag = a.block(off, off, nb, nb);
+    small_potf2(diag);
+    if (rest == 0) break;
+    MatrixView panel = a.block(off + nb, off, rest, nb);
+    small_trsm_right_lower_trans(diag, panel);
+    for (std::size_t bj = off + nb; bj < n; bj += kFactorNb) {
+      const std::size_t jb = std::min(kFactorNb, n - bj);
+      // Diagonal block of the trailing update, lower triangle only.
+      for (std::size_t i = bj; i < bj + jb; ++i)
+        for (std::size_t j = bj; j <= i; ++j) {
+          double s = 0.0;
+          for (std::size_t p = off; p < off + nb; ++p) s += a(i, p) * a(j, p);
+          a(i, j) -= s;
+        }
+      if (bj + jb < n)
+        gemm(-1.0, a.block(bj + jb, off, n - bj - jb, nb), Trans::No,
+             a.block(bj, off, jb, nb), Trans::Yes, 1.0,
+             a.block(bj + jb, bj, n - bj - jb, jb));
     }
   }
 }

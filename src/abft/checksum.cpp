@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "abft/kernels.hpp"
+#include "common/thread_pool.hpp"
+
 namespace abftc::abft {
 
 namespace {
@@ -14,6 +17,13 @@ void check_blocking(const Matrix& a, std::size_t nb) {
   ABFTC_REQUIRE(nb > 0, "block size must be positive");
   ABFTC_REQUIRE(a.rows() % nb == 0 && a.cols() % nb == 0,
                 "matrix dimensions must be multiples of the block size");
+}
+
+/// Under the naive policy the builders stay serial — it is the reference
+/// path benches time against.
+unsigned checksum_threads() noexcept {
+  const KernelPolicy& pol = kernel_policy();
+  return pol.path == KernelPath::blocked ? pol.threads : 1;
 }
 
 }  // namespace
@@ -39,12 +49,19 @@ Matrix row_group_checksums(const Matrix& a, std::size_t nb,
   const std::size_t nbr = a.rows() / nb;
   const std::size_t groups = group_count(nbr, group);
   Matrix cs(groups * nb, a.cols(), 0.0);
-  for (std::size_t bi = 0; bi < nbr; ++bi) {
-    const std::size_t g = bi / group;
-    for (std::size_t r = 0; r < nb; ++r)
-      for (std::size_t j = 0; j < a.cols(); ++j)
-        cs(g * nb + r, j) += a(bi * nb + r, j);
-  }
+  // Each worker owns whole output rows of cs and sums its group members in
+  // ascending block-row order, so the result is bitwise-identical for every
+  // thread count.
+  common::parallel_for(
+      groups * nb,
+      [&](std::size_t gr) {
+        const std::size_t g = gr / nb;
+        const std::size_t r = gr % nb;
+        for (std::size_t bi = g * group; bi < (g + 1) * group; ++bi)
+          for (std::size_t j = 0; j < a.cols(); ++j)
+            cs(gr, j) += a(bi * nb + r, j);
+      },
+      checksum_threads());
   return cs;
 }
 
@@ -54,12 +71,17 @@ Matrix col_group_checksums(const Matrix& a, std::size_t nb,
   const std::size_t nbc = a.cols() / nb;
   const std::size_t groups = group_count(nbc, group);
   Matrix cs(a.rows(), groups * nb, 0.0);
-  for (std::size_t bj = 0; bj < nbc; ++bj) {
-    const std::size_t g = bj / group;
-    for (std::size_t i = 0; i < a.rows(); ++i)
-      for (std::size_t c = 0; c < nb; ++c)
-        cs(i, g * nb + c) += a(i, bj * nb + c);
-  }
+  // Workers own whole rows of cs; per-element summation order is fixed.
+  common::parallel_for(
+      a.rows(),
+      [&](std::size_t i) {
+        for (std::size_t bj = 0; bj < nbc; ++bj) {
+          const std::size_t g = bj / group;
+          for (std::size_t c = 0; c < nb; ++c)
+            cs(i, g * nb + c) += a(i, bj * nb + c);
+        }
+      },
+      checksum_threads());
   return cs;
 }
 

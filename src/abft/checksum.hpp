@@ -34,6 +34,8 @@ class unrecoverable_error : public std::runtime_error {
 /// Build row-group checksums: result has group_count(nbr, group) block rows
 /// of nb rows each; cs[g] = Σ_{bi ∈ group g} A[bi, :].
 /// Requires a.rows() divisible by nb and nbr divisible by group.
+/// Parallelized over output rows with kernel_policy().threads workers; the
+/// result is bitwise-identical for every thread count.
 [[nodiscard]] Matrix row_group_checksums(const Matrix& a, std::size_t nb,
                                          std::size_t group);
 

@@ -1,0 +1,79 @@
+#pragma once
+/// \file kernels.hpp
+/// Kernel-path selection for the dense ABFT compute layer.
+///
+/// The paper's composite-strategy model assumes the protected kernels run at
+/// realistic speed (its φ ≈ 1.03 overhead constant is a ratio of *fast*
+/// kernel times). Two implementations back every BLAS-level entry point in
+/// blas.hpp:
+///
+///   * `naive`   — the original reference loops; simple, branch-free,
+///                 bitwise-stable. The ground truth for equivalence tests.
+///   * `blocked` — packed-panel, register-tiled, cache-blocked GEMM with
+///                 row-panel multithreading, plus blocked triangular solves
+///                 and factorizations that delegate their O(n³) update steps
+///                 to that GEMM.
+///
+/// The active `KernelPolicy` is a process-global knob; benches A/B the two
+/// paths and tests pin it with `KernelPolicyGuard`. Results are deterministic
+/// for a fixed path regardless of the thread count: work is partitioned so
+/// every output element is accumulated by exactly one thread in a fixed
+/// order.
+
+#include "abft/matrix.hpp"
+
+namespace abftc::abft {
+
+enum class Trans { No, Yes };
+
+enum class KernelPath { naive, blocked };
+
+struct KernelPolicy {
+  KernelPath path = KernelPath::blocked;
+  /// Worker threads for the blocked path; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// The process-global policy consulted by every dispatching kernel.
+/// Mutating it while kernels run on other threads is undefined.
+[[nodiscard]] const KernelPolicy& kernel_policy() noexcept;
+void set_kernel_policy(KernelPolicy p) noexcept;
+
+/// RAII override: installs `p` for the current scope, restores on exit.
+class KernelPolicyGuard {
+ public:
+  explicit KernelPolicyGuard(KernelPolicy p) : saved_(kernel_policy()) {
+    set_kernel_policy(p);
+  }
+  KernelPolicyGuard(const KernelPolicyGuard&) = delete;
+  KernelPolicyGuard& operator=(const KernelPolicyGuard&) = delete;
+  ~KernelPolicyGuard() { set_kernel_policy(saved_); }
+
+ private:
+  KernelPolicy saved_;
+};
+
+/// C ← α·op(A)·op(B) + β·C through the packed blocked path, explicitly —
+/// bypasses the global policy (used by benches and equivalence tests).
+/// `threads == 0` means hardware concurrency.
+void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+                  Trans tb, double beta, MatrixView c, unsigned threads = 0);
+
+/// The original reference triple loop, explicitly.
+void naive_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+                Trans tb, double beta, MatrixView c);
+
+/// True when the dispatcher would route a gemm of this shape to the blocked
+/// path under the active policy (exposed so tests can assert the cutover).
+[[nodiscard]] bool gemm_uses_blocked_path(std::size_t m, std::size_t n,
+                                          std::size_t k) noexcept;
+
+/// Validated (m, n, k) of C ← op(A)·op(B): the single place the
+/// transpose-dependent shape derivation lives. Throws on mismatch.
+struct GemmShape {
+  std::size_t m, n, k;
+};
+[[nodiscard]] GemmShape gemm_shape(ConstMatrixView a, Trans ta,
+                                   ConstMatrixView b, Trans tb, MatrixView c);
+
+}  // namespace abftc::abft

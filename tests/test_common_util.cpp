@@ -139,6 +139,31 @@ TEST(ParallelFor, ZeroItemsIsNoop) {
   parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
 }
 
+std::atomic<int> g_free_fn_hits{0};
+void free_fn_body(std::size_t) { g_free_fn_hits.fetch_add(1); }
+
+TEST(ParallelFor, AcceptsPlainFunctions) {
+  g_free_fn_hits = 0;
+  parallel_for(64, free_fn_body, 4);
+  EXPECT_EQ(g_free_fn_hits.load(), 64);
+}
+
+TEST(ParallelFor, AttemptsEveryIndexDespiteException) {
+  for (const unsigned threads : {1u, 4u}) {
+    std::atomic<int> hits{0};
+    EXPECT_THROW(
+        parallel_for(
+            100,
+            [&](std::size_t i) {
+              if (i == 37) throw std::runtime_error("boom");
+              hits.fetch_add(1);
+            },
+            threads),
+        std::runtime_error);
+    EXPECT_EQ(hits.load(), 99) << "threads=" << threads;
+  }
+}
+
 TEST(ErrorMacros, CarryContext) {
   try {
     ABFTC_REQUIRE(1 == 2, "custom message");

@@ -1,0 +1,356 @@
+// Tests for the kernel-policy dispatch layer: blocked-vs-naive numerical
+// equivalence for gemm/trsm/getrf/potrf/geqr2 (random sizes including
+// non-multiples of the register tile), determinism of the parallel checksum
+// builders across thread counts, and slice-by-8 crc32 against the classic
+// bytewise formulation.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "abft/blas.hpp"
+#include "abft/checksum.hpp"
+#include "abft/kernels.hpp"
+#include "common/crc32.hpp"
+
+namespace {
+
+using namespace abftc;
+using abft::ConstMatrixView;
+using abft::KernelPath;
+using abft::KernelPolicy;
+using abft::KernelPolicyGuard;
+using abft::Matrix;
+using abft::MatrixView;
+using abft::Trans;
+
+constexpr double kTol = 1e-10;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  common::Rng rng(seed);
+  return Matrix::random(r, c, rng);
+}
+
+// --- GEMM -------------------------------------------------------------------
+
+class BlockedGemmSizes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(BlockedGemmSizes, MatchesNaiveAllTransVariants) {
+  const auto [m, n, k] = GetParam();
+  const Matrix a = random_matrix(m, k, 101 + m);
+  const Matrix at = random_matrix(k, m, 103 + m);
+  const Matrix b = random_matrix(k, n, 107 + n);
+  const Matrix bt = random_matrix(n, k, 109 + n);
+
+  const struct {
+    const Matrix& a;
+    Trans ta;
+    const Matrix& b;
+    Trans tb;
+  } cases[] = {{a, Trans::No, b, Trans::No},
+               {a, Trans::No, bt, Trans::Yes},
+               {at, Trans::Yes, b, Trans::No},
+               {at, Trans::Yes, bt, Trans::Yes}};
+
+  for (const auto& cse : cases) {
+    Matrix c_naive = random_matrix(m, n, 997);
+    Matrix c_blocked = c_naive;
+    abft::naive_gemm(1.25, cse.a.view(), cse.ta, cse.b.view(), cse.tb, -0.5,
+                     c_naive.view());
+    abft::blocked_gemm(1.25, cse.a.view(), cse.ta, cse.b.view(), cse.tb, -0.5,
+                       c_blocked.view(), 1);
+    EXPECT_LT(abft::max_abs_diff(c_naive, c_blocked), kTol)
+        << "m=" << m << " n=" << n << " k=" << k
+        << " ta=" << (cse.ta == Trans::Yes) << " tb=" << (cse.tb == Trans::Yes);
+  }
+}
+
+// Sizes straddle the register tile (8×16 / 6×8), the cache blocks
+// (mc=96–128, kc=192–256) and plenty of non-multiples of any of them.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmSizes,
+    ::testing::Values(std::make_tuple(1u, 1u, 1u), std::make_tuple(5u, 3u, 7u),
+                      std::make_tuple(17u, 33u, 9u),
+                      std::make_tuple(64u, 64u, 64u),
+                      std::make_tuple(97u, 101u, 53u),
+                      std::make_tuple(129u, 65u, 200u),
+                      std::make_tuple(200u, 257u, 131u)));
+
+TEST(BlockedGemm, MatchesNaiveOnStridedSubviews) {
+  // Views with ld > cols: operate on interior blocks of larger matrices.
+  const Matrix big_a = random_matrix(200, 180, 7);
+  const Matrix big_b = random_matrix(180, 220, 8);
+  Matrix big_c1 = random_matrix(210, 240, 9);
+  Matrix big_c2 = big_c1;
+  ConstMatrixView av = big_a.block(3, 5, 150, 140);
+  ConstMatrixView bv = big_b.block(11, 2, 140, 170);
+  abft::naive_gemm(1.0, av, Trans::No, bv, Trans::No, 1.0,
+                   big_c1.block(4, 6, 150, 170));
+  abft::blocked_gemm(1.0, av, Trans::No, bv, Trans::No, 1.0,
+                     big_c2.block(4, 6, 150, 170), 1);
+  EXPECT_LT(abft::max_abs_diff(big_c1, big_c2), kTol);
+}
+
+TEST(BlockedGemm, DeterministicAcrossThreadCounts) {
+  const Matrix a = random_matrix(257, 193, 21);
+  const Matrix b = random_matrix(193, 201, 22);
+  Matrix c1(257, 201, 0.0);
+  Matrix c2(257, 201, 0.0);
+  Matrix c8(257, 201, 0.0);
+  abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0,
+                     c1.view(), 1);
+  abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0,
+                     c2.view(), 2);
+  abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0,
+                     c8.view(), 8);
+  EXPECT_EQ(abft::max_abs_diff(c1, c2), 0.0);
+  EXPECT_EQ(abft::max_abs_diff(c1, c8), 0.0);
+}
+
+TEST(KernelPolicy, DispatchCutoffAndGuard) {
+  const KernelPolicy saved = abft::kernel_policy();
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 4});
+    EXPECT_TRUE(abft::gemm_uses_blocked_path(64, 64, 64));
+    EXPECT_FALSE(abft::gemm_uses_blocked_path(8, 8, 8));
+    EXPECT_EQ(abft::kernel_policy().threads, 4u);
+    {
+      KernelPolicyGuard inner({KernelPath::naive, 1});
+      EXPECT_FALSE(abft::gemm_uses_blocked_path(512, 512, 512));
+    }
+    EXPECT_TRUE(abft::gemm_uses_blocked_path(512, 512, 512));
+  }
+  EXPECT_EQ(abft::kernel_policy().path, saved.path);
+  EXPECT_EQ(abft::kernel_policy().threads, saved.threads);
+}
+
+// --- Triangular solves ------------------------------------------------------
+
+// A well-conditioned lower-triangular factor (diagonally dominant).
+Matrix lower_factor(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Matrix l = Matrix::diag_dominant(n, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+  return l;
+}
+
+Matrix upper_factor(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Matrix u = Matrix::diag_dominant(n, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) u(i, j) = 0.0;
+  return u;
+}
+
+TEST(BlockedTrsm, RightUpperMatchesNaive) {
+  const std::size_t n = 192;  // above the blocked cutoff
+  const Matrix u = upper_factor(n, 31);
+  const Matrix b0 = random_matrix(150, n, 32);  // row count off the tile
+  Matrix b_naive = b0;
+  Matrix b_blocked = b0;
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    abft::trsm_right_upper(u.view(), b_naive.view());
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    abft::trsm_right_upper(u.view(), b_blocked.view());
+  }
+  EXPECT_LT(abft::max_abs_diff(b_naive, b_blocked), kTol);
+}
+
+TEST(BlockedTrsm, LeftLowerUnitMatchesNaive) {
+  const std::size_t n = 200;
+  // The diagonal is implicitly 1, so keep the strict lower part small: with
+  // O(1) entries forward substitution amplifies like ∏(1+|l|) and absolute
+  // comparison of the two paths becomes meaningless.
+  Matrix l = lower_factor(n, 41);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) l(i, j) /= static_cast<double>(n);
+  const Matrix b0 = random_matrix(n, 137, 42);
+  Matrix b_naive = b0;
+  Matrix b_blocked = b0;
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    abft::trsm_left_lower_unit(l.view(), b_naive.view());
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    abft::trsm_left_lower_unit(l.view(), b_blocked.view());
+  }
+  EXPECT_LT(abft::max_abs_diff(b_naive, b_blocked), kTol);
+}
+
+TEST(BlockedTrsm, RightLowerTransMatchesNaive) {
+  const std::size_t n = 160;
+  const Matrix l = lower_factor(n, 51);
+  const Matrix b0 = random_matrix(143, n, 52);
+  Matrix b_naive = b0;
+  Matrix b_blocked = b0;
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    abft::trsm_right_lower_trans(l.view(), b_naive.view());
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    abft::trsm_right_lower_trans(l.view(), b_blocked.view());
+  }
+  EXPECT_LT(abft::max_abs_diff(b_naive, b_blocked), kTol);
+}
+
+// --- Factorizations ---------------------------------------------------------
+
+TEST(BlockedFactor, GetrfMatchesNaive) {
+  for (const std::size_t n : {150u, 193u, 256u}) {
+    common::Rng rng(61 + n);
+    const Matrix a0 = Matrix::diag_dominant(n, rng);
+    Matrix a_naive = a0;
+    Matrix a_blocked = a0;
+    {
+      KernelPolicyGuard guard({KernelPath::naive, 1});
+      abft::getf2_nopiv(a_naive.view());
+    }
+    {
+      KernelPolicyGuard guard({KernelPath::blocked, 1});
+      abft::getf2_nopiv(a_blocked.view());
+    }
+    EXPECT_LT(abft::max_abs_diff(a_naive, a_blocked), kTol) << "n=" << n;
+  }
+}
+
+TEST(BlockedFactor, PotrfMatchesNaiveAndLeavesUpperUntouched) {
+  for (const std::size_t n : {150u, 193u, 256u}) {
+    common::Rng rng(71 + n);
+    Matrix a0 = Matrix::spd(n, rng);
+    // Sentinel the strict upper triangle: the lower-Cholesky contract says
+    // it is never written.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) a0(i, j) = 1e99 + double(i + j);
+    Matrix a_naive = a0;
+    Matrix a_blocked = a0;
+    {
+      KernelPolicyGuard guard({KernelPath::naive, 1});
+      abft::potf2_lower(a_naive.view());
+    }
+    {
+      KernelPolicyGuard guard({KernelPath::blocked, 1});
+      abft::potf2_lower(a_blocked.view());
+    }
+    EXPECT_LT(abft::max_abs_diff(a_naive, a_blocked), kTol) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        ASSERT_EQ(a_blocked(i, j), a0(i, j)) << "upper entry written";
+  }
+}
+
+TEST(BlockedFactor, Geqr2AgreesAcrossPolicies) {
+  // geqr2's panel math is policy-independent; this pins that contract (and
+  // the reflector application it feeds) under both paths.
+  const Matrix a0 = random_matrix(120, 45, 81);
+  Matrix a_naive = a0;
+  Matrix a_blocked = a0;
+  std::vector<double> tau_naive, tau_blocked;
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    abft::geqr2(a_naive.view(), tau_naive);
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 2});
+    abft::geqr2(a_blocked.view(), tau_blocked);
+  }
+  EXPECT_LT(abft::max_abs_diff(a_naive, a_blocked), kTol);
+  ASSERT_EQ(tau_naive.size(), tau_blocked.size());
+  for (std::size_t j = 0; j < tau_naive.size(); ++j)
+    EXPECT_NEAR(tau_naive[j], tau_blocked[j], kTol);
+
+  Matrix c_naive = random_matrix(120, 30, 82);
+  Matrix c_blocked = c_naive;
+  abft::apply_reflectors_left(a_naive.view(), tau_naive, c_naive.view());
+  abft::apply_reflectors_left(a_blocked.view(), tau_blocked,
+                              c_blocked.view());
+  EXPECT_LT(abft::max_abs_diff(c_naive, c_blocked), kTol);
+}
+
+// --- Parallel checksums -----------------------------------------------------
+
+TEST(ParallelChecksums, BitwiseDeterministicAcrossThreadCounts) {
+  const Matrix a = random_matrix(96, 128, 91);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    KernelPolicyGuard guard({KernelPath::blocked, threads});
+    const Matrix row_cs = abft::row_group_checksums(a, 16, 2);
+    const Matrix col_cs = abft::col_group_checksums(a, 16, 4);
+    KernelPolicyGuard serial({KernelPath::blocked, 1});
+    EXPECT_EQ(abft::max_abs_diff(row_cs, abft::row_group_checksums(a, 16, 2)),
+              0.0)
+        << "threads=" << threads;
+    EXPECT_EQ(abft::max_abs_diff(col_cs, abft::col_group_checksums(a, 16, 4)),
+              0.0)
+        << "threads=" << threads;
+  }
+}
+
+// --- CRC-32 -----------------------------------------------------------------
+
+std::uint32_t bytewise_crc32(std::span<const std::byte> data,
+                             std::uint32_t seed) {
+  // The classic one-table formulation the slice-by-8 kernel must match.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : data)
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::byte> as_bytes_vec(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(Crc32, KnownVectors) {
+  const auto check = as_bytes_vec("123456789");
+  EXPECT_EQ(common::crc32(check), 0xCBF43926u);  // IEEE 802.3 check value
+  EXPECT_EQ(common::crc32({}), 0x00000000u);
+  const auto a = as_bytes_vec("a");
+  EXPECT_EQ(common::crc32(a), 0xE8B7BE43u);
+}
+
+TEST(Crc32, MatchesBytewiseOnRandomBuffers) {
+  common::Rng rng(123);
+  for (const std::size_t len : {1u, 7u, 8u, 9u, 63u, 64u, 1000u, 4097u}) {
+    std::vector<std::byte> buf(len);
+    for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xFF);
+    EXPECT_EQ(common::crc32(buf), bytewise_crc32(buf, 0)) << "len=" << len;
+  }
+}
+
+TEST(Crc32, IncrementalChainingMatchesWholeBuffer) {
+  common::Rng rng(321);
+  std::vector<std::byte> buf(777);
+  for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xFF);
+  const std::uint32_t whole = common::crc32(buf);
+  for (const std::size_t split : {1u, 3u, 8u, 100u, 776u}) {
+    const std::uint32_t first =
+        common::crc32(std::span(buf).first(split));
+    const std::uint32_t chained =
+        common::crc32(std::span(buf).subspan(split), first);
+    EXPECT_EQ(chained, whole) << "split=" << split;
+  }
+}
+
+}  // namespace
