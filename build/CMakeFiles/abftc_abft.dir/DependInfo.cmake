@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abft/abft_cholesky.cpp" "CMakeFiles/abftc_abft.dir/src/abft/abft_cholesky.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/abft_cholesky.cpp.o.d"
+  "/root/repo/src/abft/abft_gemm.cpp" "CMakeFiles/abftc_abft.dir/src/abft/abft_gemm.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/abft_gemm.cpp.o.d"
+  "/root/repo/src/abft/abft_lu.cpp" "CMakeFiles/abftc_abft.dir/src/abft/abft_lu.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/abft_lu.cpp.o.d"
+  "/root/repo/src/abft/abft_qr.cpp" "CMakeFiles/abftc_abft.dir/src/abft/abft_qr.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/abft_qr.cpp.o.d"
+  "/root/repo/src/abft/blas.cpp" "CMakeFiles/abftc_abft.dir/src/abft/blas.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/blas.cpp.o.d"
+  "/root/repo/src/abft/checksum.cpp" "CMakeFiles/abftc_abft.dir/src/abft/checksum.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/checksum.cpp.o.d"
+  "/root/repo/src/abft/grid.cpp" "CMakeFiles/abftc_abft.dir/src/abft/grid.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/grid.cpp.o.d"
+  "/root/repo/src/abft/kernels.cpp" "CMakeFiles/abftc_abft.dir/src/abft/kernels.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/kernels.cpp.o.d"
+  "/root/repo/src/abft/matrix.cpp" "CMakeFiles/abftc_abft.dir/src/abft/matrix.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/matrix.cpp.o.d"
+  "/root/repo/src/abft/version.cpp" "CMakeFiles/abftc_abft.dir/src/abft/version.cpp.o" "gcc" "CMakeFiles/abftc_abft.dir/src/abft/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/abftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_cholesky.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_cholesky.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_gemm.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_gemm.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_lu.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_lu.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_qr.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/abft_qr.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/blas.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/blas.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/checksum.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/checksum.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/grid.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/grid.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/kernels.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/kernels.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/matrix.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/matrix.cpp.o.d"
+  "CMakeFiles/abftc_abft.dir/src/abft/version.cpp.o"
+  "CMakeFiles/abftc_abft.dir/src/abft/version.cpp.o.d"
+  "libabftc_abft.a"
+  "libabftc_abft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftc_abft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abftc_abft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+CMakeFiles/abftc_abft.dir/src/abft/version.cpp.o: \
+ /root/repo/src/abft/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/abft/version.hpp

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/image.cpp" "CMakeFiles/abftc_ckpt.dir/src/ckpt/image.cpp.o" "gcc" "CMakeFiles/abftc_ckpt.dir/src/ckpt/image.cpp.o.d"
+  "/root/repo/src/ckpt/storage.cpp" "CMakeFiles/abftc_ckpt.dir/src/ckpt/storage.cpp.o" "gcc" "CMakeFiles/abftc_ckpt.dir/src/ckpt/storage.cpp.o.d"
+  "/root/repo/src/ckpt/version.cpp" "CMakeFiles/abftc_ckpt.dir/src/ckpt/version.cpp.o" "gcc" "CMakeFiles/abftc_ckpt.dir/src/ckpt/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/abftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

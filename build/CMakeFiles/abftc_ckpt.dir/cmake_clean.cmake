@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftc_ckpt.dir/src/ckpt/image.cpp.o"
+  "CMakeFiles/abftc_ckpt.dir/src/ckpt/image.cpp.o.d"
+  "CMakeFiles/abftc_ckpt.dir/src/ckpt/storage.cpp.o"
+  "CMakeFiles/abftc_ckpt.dir/src/ckpt/storage.cpp.o.d"
+  "CMakeFiles/abftc_ckpt.dir/src/ckpt/version.cpp.o"
+  "CMakeFiles/abftc_ckpt.dir/src/ckpt/version.cpp.o.d"
+  "libabftc_ckpt.a"
+  "libabftc_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftc_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+CMakeFiles/abftc_ckpt.dir/src/ckpt/version.cpp.o: \
+ /root/repo/src/ckpt/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/ckpt/version.hpp

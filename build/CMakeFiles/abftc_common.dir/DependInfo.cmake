@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "CMakeFiles/abftc_common.dir/src/common/cli.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/cli.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "CMakeFiles/abftc_common.dir/src/common/crc32.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/crc32.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/abftc_common.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/abftc_common.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/abftc_common.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/abftc_common.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/time_units.cpp" "CMakeFiles/abftc_common.dir/src/common/time_units.cpp.o" "gcc" "CMakeFiles/abftc_common.dir/src/common/time_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftc_common.dir/src/common/cli.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/cli.cpp.o.d"
+  "CMakeFiles/abftc_common.dir/src/common/crc32.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/crc32.cpp.o.d"
+  "CMakeFiles/abftc_common.dir/src/common/rng.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/rng.cpp.o.d"
+  "CMakeFiles/abftc_common.dir/src/common/stats.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/stats.cpp.o.d"
+  "CMakeFiles/abftc_common.dir/src/common/table.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/table.cpp.o.d"
+  "CMakeFiles/abftc_common.dir/src/common/thread_pool.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/thread_pool.cpp.o.d"
+  "CMakeFiles/abftc_common.dir/src/common/time_units.cpp.o"
+  "CMakeFiles/abftc_common.dir/src/common/time_units.cpp.o.d"
+  "libabftc_common.a"
+  "libabftc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/monte_carlo.cpp" "CMakeFiles/abftc_core.dir/src/core/monte_carlo.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "CMakeFiles/abftc_core.dir/src/core/params.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/params.cpp.o.d"
+  "/root/repo/src/core/phase_model.cpp" "CMakeFiles/abftc_core.dir/src/core/phase_model.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/phase_model.cpp.o.d"
+  "/root/repo/src/core/protocol_models.cpp" "CMakeFiles/abftc_core.dir/src/core/protocol_models.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/protocol_models.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "CMakeFiles/abftc_core.dir/src/core/runtime.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/runtime.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "CMakeFiles/abftc_core.dir/src/core/scaling.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/scaling.cpp.o.d"
+  "/root/repo/src/core/simulate.cpp" "CMakeFiles/abftc_core.dir/src/core/simulate.cpp.o" "gcc" "CMakeFiles/abftc_core.dir/src/core/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/abftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/abftc_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/abftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftc_core.dir/src/core/monte_carlo.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/monte_carlo.cpp.o.d"
+  "CMakeFiles/abftc_core.dir/src/core/params.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/params.cpp.o.d"
+  "CMakeFiles/abftc_core.dir/src/core/phase_model.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/phase_model.cpp.o.d"
+  "CMakeFiles/abftc_core.dir/src/core/protocol_models.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/protocol_models.cpp.o.d"
+  "CMakeFiles/abftc_core.dir/src/core/runtime.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/runtime.cpp.o.d"
+  "CMakeFiles/abftc_core.dir/src/core/scaling.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/scaling.cpp.o.d"
+  "CMakeFiles/abftc_core.dir/src/core/simulate.cpp.o"
+  "CMakeFiles/abftc_core.dir/src/core/simulate.cpp.o.d"
+  "libabftc_core.a"
+  "libabftc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/des_periodic.cpp" "CMakeFiles/abftc_sim.dir/src/sim/des_periodic.cpp.o" "gcc" "CMakeFiles/abftc_sim.dir/src/sim/des_periodic.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/abftc_sim.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/abftc_sim.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/abftc_sim.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/abftc_sim.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/failures.cpp" "CMakeFiles/abftc_sim.dir/src/sim/failures.cpp.o" "gcc" "CMakeFiles/abftc_sim.dir/src/sim/failures.cpp.o.d"
+  "/root/repo/src/sim/segments.cpp" "CMakeFiles/abftc_sim.dir/src/sim/segments.cpp.o" "gcc" "CMakeFiles/abftc_sim.dir/src/sim/segments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/abftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

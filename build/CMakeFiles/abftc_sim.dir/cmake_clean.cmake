@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftc_sim.dir/src/sim/des_periodic.cpp.o"
+  "CMakeFiles/abftc_sim.dir/src/sim/des_periodic.cpp.o.d"
+  "CMakeFiles/abftc_sim.dir/src/sim/engine.cpp.o"
+  "CMakeFiles/abftc_sim.dir/src/sim/engine.cpp.o.d"
+  "CMakeFiles/abftc_sim.dir/src/sim/event_queue.cpp.o"
+  "CMakeFiles/abftc_sim.dir/src/sim/event_queue.cpp.o.d"
+  "CMakeFiles/abftc_sim.dir/src/sim/failures.cpp.o"
+  "CMakeFiles/abftc_sim.dir/src/sim/failures.cpp.o.d"
+  "CMakeFiles/abftc_sim.dir/src/sim/segments.cpp.o"
+  "CMakeFiles/abftc_sim.dir/src/sim/segments.cpp.o.d"
+  "libabftc_sim.a"
+  "libabftc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_json.dir/bench/bench_kernels_json.cpp.o"
+  "CMakeFiles/bench_kernels_json.dir/bench/bench_kernels_json.cpp.o.d"
+  "bench_kernels_json"
+  "bench_kernels_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_abft_lu_recovery.dir/examples/abft_lu_recovery.cpp.o"
+  "CMakeFiles/example_abft_lu_recovery.dir/examples/abft_lu_recovery.cpp.o.d"
+  "example_abft_lu_recovery"
+  "example_abft_lu_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_abft_lu_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_abft_lu_recovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heat_dissipation.dir/examples/heat_dissipation.cpp.o"
+  "CMakeFiles/example_heat_dissipation.dir/examples/heat_dissipation.cpp.o.d"
+  "example_heat_dissipation"
+  "example_heat_dissipation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heat_dissipation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

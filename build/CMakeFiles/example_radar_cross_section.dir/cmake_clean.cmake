@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_radar_cross_section.dir/examples/radar_cross_section.cpp.o"
+  "CMakeFiles/example_radar_cross_section.dir/examples/radar_cross_section.cpp.o.d"
+  "example_radar_cross_section"
+  "example_radar_cross_section.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_radar_cross_section.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

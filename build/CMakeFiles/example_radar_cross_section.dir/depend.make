@@ -1,0 +1,2 @@
+# Empty dependencies file for example_radar_cross_section.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_weak_scaling_explorer.dir/examples/weak_scaling_explorer.cpp.o"
+  "CMakeFiles/example_weak_scaling_explorer.dir/examples/weak_scaling_explorer.cpp.o.d"
+  "example_weak_scaling_explorer"
+  "example_weak_scaling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_weak_scaling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_checksum.dir/tests/test_abft_checksum.cpp.o"
+  "CMakeFiles/test_abft_checksum.dir/tests/test_abft_checksum.cpp.o.d"
+  "test_abft_checksum"
+  "test_abft_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_cholesky.dir/tests/test_abft_cholesky.cpp.o"
+  "CMakeFiles/test_abft_cholesky.dir/tests/test_abft_cholesky.cpp.o.d"
+  "test_abft_cholesky"
+  "test_abft_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

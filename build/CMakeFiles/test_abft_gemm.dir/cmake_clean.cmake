@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_gemm.dir/tests/test_abft_gemm.cpp.o"
+  "CMakeFiles/test_abft_gemm.dir/tests/test_abft_gemm.cpp.o.d"
+  "test_abft_gemm"
+  "test_abft_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_lu.dir/tests/test_abft_lu.cpp.o"
+  "CMakeFiles/test_abft_lu.dir/tests/test_abft_lu.cpp.o.d"
+  "test_abft_lu"
+  "test_abft_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_qr.dir/tests/test_abft_qr.cpp.o"
+  "CMakeFiles/test_abft_qr.dir/tests/test_abft_qr.cpp.o.d"
+  "test_abft_qr"
+  "test_abft_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_image.dir/tests/test_ckpt_image.cpp.o"
+  "CMakeFiles/test_ckpt_image.dir/tests/test_ckpt_image.cpp.o.d"
+  "test_ckpt_image"
+  "test_ckpt_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_stats.dir/tests/test_common_stats.cpp.o"
+  "CMakeFiles/test_common_stats.dir/tests/test_common_stats.cpp.o.d"
+  "test_common_stats"
+  "test_common_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

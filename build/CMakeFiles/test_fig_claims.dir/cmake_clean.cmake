@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig_claims.dir/tests/test_fig_claims.cpp.o"
+  "CMakeFiles/test_fig_claims.dir/tests/test_fig_claims.cpp.o.d"
+  "test_fig_claims"
+  "test_fig_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_model.dir/tests/test_phase_model.cpp.o"
+  "CMakeFiles/test_phase_model.dir/tests/test_phase_model.cpp.o.d"
+  "test_phase_model"
+  "test_phase_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

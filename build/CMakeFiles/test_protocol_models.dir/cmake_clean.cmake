@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_models.dir/tests/test_protocol_models.cpp.o"
+  "CMakeFiles/test_protocol_models.dir/tests/test_protocol_models.cpp.o.d"
+  "test_protocol_models"
+  "test_protocol_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_scaling.cpp" "CMakeFiles/test_scaling.dir/tests/test_scaling.cpp.o" "gcc" "CMakeFiles/test_scaling.dir/tests/test_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/abftc_abft.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/abftc_core.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/abftc_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/abftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/abftc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

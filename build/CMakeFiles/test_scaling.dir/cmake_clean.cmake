@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling.dir/tests/test_scaling.cpp.o"
+  "CMakeFiles/test_scaling.dir/tests/test_scaling.cpp.o.d"
+  "test_scaling"
+  "test_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

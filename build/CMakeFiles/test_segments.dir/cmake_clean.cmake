@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segments.dir/tests/test_segments.cpp.o"
+  "CMakeFiles/test_segments.dir/tests/test_segments.cpp.o.d"
+  "test_segments"
+  "test_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
