@@ -6,13 +6,16 @@
 /// with shape < 1, heavy-tailed Log-normal). Bursts hurt rollback
 /// protocols (clustered failures re-hit the same period) while ABFT's
 /// constant per-failure cost is distribution-insensitive.
+///
+/// Flags: --alpha=0.8 --reps=300 --mtbf-min=60,120,240 --json[=PATH]
 
 #include <iostream>
+#include <iterator>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
-#include "core/monte_carlo.hpp"
+#include "core/experiment.hpp"
 
 using namespace abftc;
 
@@ -20,34 +23,65 @@ int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const double alpha = args.get_double("alpha", 0.8);
   const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 300));
+  const std::vector<double> mtbfs_min =
+      args.get_double_list("mtbf-min", {60.0, 120.0, 240.0});
+  const auto json_sink =
+      core::json_sink_from_args(args, "ablation_distribution");
+  args.warn_unknown(std::cerr);
 
   std::cout << "# Ablation: failure-distribution sensitivity (alpha = "
             << alpha << ", equal MTBF, " << reps << " replicates)\n\n";
 
   struct Dist {
     const char* name;
+    const char* key;
     core::FailureDistribution d;
   };
   const Dist dists[] = {
-      {"Exponential", core::FailureDistribution::Exponential},
-      {"Weibull(k=0.7)", core::FailureDistribution::Weibull},
-      {"LogNormal(cv=1.5)", core::FailureDistribution::LogNormal},
+      {"Exponential", "exp", core::FailureDistribution::Exponential},
+      {"Weibull(k=0.7)", "weibull", core::FailureDistribution::Weibull},
+      {"LogNormal(cv=1.5)", "lognormal", core::FailureDistribution::LogNormal},
   };
 
-  for (const double mtbf_min : {60.0, 120.0, 240.0}) {
-    const auto s = core::figure7_scenario(common::minutes(mtbf_min), alpha);
-    std::cout << "MTBF = " << mtbf_min << " min\n";
+  core::ExperimentSpec spec;
+  spec.name = "ablation_distribution";
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), alpha);
+  spec.sweep.axes = {core::Axis::custom(
+      "mtbf_min", mtbfs_min, [](core::ScenarioParams& s, double m) {
+        s.platform.mtbf = common::minutes(m);
+      })};
+  for (const auto& dist : dists) {
+    core::MonteCarloOptions mc;
+    mc.replicates = reps;
+    mc.distribution = dist.d;
+    for (const auto p : core::all_protocols())
+      spec.series.push_back({std::string("sim_") + dist.key + "_" +
+                                 std::string(core::protocol_key(p)),
+                             p, "sim", {}, mc});
+  }
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
+  std::vector<std::vector<std::size_t>> dist_idx;
+  for (const auto& dist : dists) {
+    std::vector<std::size_t> idx;
+    for (const auto p : core::all_protocols())
+      idx.push_back(result.series_index(std::string("sim_") + dist.key + "_" +
+                                        std::string(core::protocol_key(p))));
+    dist_idx.push_back(std::move(idx));
+  }
+
+  for (const auto& cell : result.cells) {
+    std::cout << "MTBF = " << cell.axis_values[0] << " min\n";
     common::Table table(
         {"distribution", "Pure", "Bi", "ABFT&", "ABFT& advantage vs Pure"});
-    for (const auto& dist : dists) {
-      core::MonteCarloOptions mc;
-      mc.replicates = reps;
-      mc.distribution = dist.d;
+    for (std::size_t di = 0; di < std::size(dists); ++di) {
+      const Dist& dist = dists[di];
       std::vector<double> w;
-      for (const auto p :
-           {core::Protocol::PurePeriodicCkpt, core::Protocol::BiPeriodicCkpt,
-            core::Protocol::AbftPeriodicCkpt})
-        w.push_back(core::monte_carlo(p, s, {}, mc).waste.mean());
+      for (const std::size_t si : dist_idx[di])
+        w.push_back(cell.series[si].waste);
       table.add_row({dist.name, common::fmt_fixed(w[0], 4),
                      common::fmt_fixed(w[1], 4), common::fmt_fixed(w[2], 4),
                      common::fmt_percent(w[0] - w[2], 2)});

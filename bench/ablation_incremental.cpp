@@ -4,14 +4,16 @@
 /// library phase touches)? §IV-C predicts the library-phase checkpoint cost
 /// shrinks to ρ·C while recovery stays at R — so the gain saturates and
 /// never approaches the composite's.
+///
+/// Flags: --mtbf-min=120 --alpha=0.8 --reps=200
+///        --rho=0.0,0.2,0.4,0.6,0.8,0.95,1.0 --json[=PATH]
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
-#include "core/monte_carlo.hpp"
-#include "core/protocol_models.hpp"
+#include "core/experiment.hpp"
 
 using namespace abftc;
 
@@ -20,29 +22,45 @@ int main(int argc, char** argv) {
   const double mtbf_min = args.get_double("mtbf-min", 120.0);
   const double alpha = args.get_double("alpha", 0.8);
   const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 200));
+  const std::vector<double> rhos =
+      args.get_double_list("rho", {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0});
+  const auto json_sink =
+      core::json_sink_from_args(args, "ablation_incremental");
+  args.warn_unknown(std::cerr);
 
   std::cout << "# Ablation: incremental checkpointing benefit vs rho "
                "(MTBF = " << mtbf_min << " min, alpha = " << alpha << ")\n\n";
 
+  core::MonteCarloOptions mc;
+  mc.replicates = reps;
+
+  core::ExperimentSpec spec;
+  spec.name = "ablation_incremental";
+  spec.sweep.base = core::figure7_scenario(common::minutes(mtbf_min), alpha);
+  spec.sweep.axes = {core::Axis::values("rho", core::AxisField::Rho, rhos)};
+  spec.series = {
+      {"model_pure", core::Protocol::PurePeriodicCkpt, "model", {}, {}},
+      {"model_bi", core::Protocol::BiPeriodicCkpt, "model", {}, {}},
+      {"model_abft", core::Protocol::AbftPeriodicCkpt, "model", {}, {}},
+      {"sim_bi", core::Protocol::BiPeriodicCkpt, "sim", {}, mc},
+  };
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
   common::Table table({"rho", "Pure", "Bi (model)", "Bi (sim)", "ABFT&",
                        "Bi gain over Pure", "ABFT& gain over Pure"});
-  for (const double rho : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0}) {
-    auto s = core::figure7_scenario(common::minutes(mtbf_min), alpha);
-    s.ckpt.rho = rho;
-    const auto pure = core::evaluate_pure(s);
-    const auto bi = core::evaluate_bi(s);
-    const auto comp = core::evaluate_composite(s);
-    core::MonteCarloOptions mc;
-    mc.replicates = reps;
-    const auto bi_sim =
-        core::monte_carlo(core::Protocol::BiPeriodicCkpt, s, {}, mc);
-    table.add_row({common::fmt_fixed(rho, 2),
-                   common::fmt_fixed(pure.waste(), 4),
-                   common::fmt_fixed(bi.waste(), 4),
-                   common::fmt_fixed(bi_sim.waste.mean(), 4),
-                   common::fmt_fixed(comp.waste(), 4),
-                   common::fmt_percent(pure.waste() - bi.waste(), 2),
-                   common::fmt_percent(pure.waste() - comp.waste(), 2)});
+  for (const auto& cell : result.cells) {
+    const double pure = cell.series[result.series_index("model_pure")].waste;
+    const double bi = cell.series[result.series_index("model_bi")].waste;
+    const double comp = cell.series[result.series_index("model_abft")].waste;
+    const double bi_sim = cell.series[result.series_index("sim_bi")].waste;
+    table.add_row({common::fmt_fixed(cell.axis_values[0], 2),
+                   common::fmt_fixed(pure, 4), common::fmt_fixed(bi, 4),
+                   common::fmt_fixed(bi_sim, 4), common::fmt_fixed(comp, 4),
+                   common::fmt_percent(pure - bi, 2),
+                   common::fmt_percent(pure - comp, 2)});
   }
   table.print(std::cout);
   std::cout << "\nReading: smaller library checkpoints help linearly in rho "

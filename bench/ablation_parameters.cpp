@@ -7,46 +7,72 @@
 /// for the three protocols so the sensitivity of every term of Section IV
 /// is visible.
 ///
-/// Flags: --reps=150 --mtbf-min=120 --alpha=0.8
+/// Flags: --reps=150 --mtbf-min=120 --alpha=0.8 --json[=PATH] (one artifact
+///        per sweep, a `_<param>` suffix inserted before the extension)
 
 #include <functional>
 #include <iostream>
+#include <optional>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
-#include "core/monte_carlo.hpp"
+#include "core/experiment.hpp"
 
 using namespace abftc;
 
 namespace {
 
 struct Sweep {
-  const char* name;
+  const char* name;  ///< table column header
+  const char* key;   ///< axis / artifact key (json-safe)
   std::vector<double> values;
   std::function<void(core::ScenarioParams&, double)> apply;
   std::function<std::string(double)> show;
 };
 
 void run_sweep(const Sweep& sweep, const core::ScenarioParams& base,
-               std::size_t reps) {
+               std::size_t reps, const std::string& json_path) {
+  core::MonteCarloOptions mc;
+  mc.replicates = reps;
+
+  core::ExperimentSpec spec;
+  spec.name = std::string("ablation_parameters_") + sweep.key;
+  spec.sweep.base = base;
+  spec.sweep.axes = {core::Axis::custom(sweep.key, sweep.values, sweep.apply)};
+  spec.series =
+      core::cross_series(core::all_protocols(), {"model", "sim"}, {}, mc);
+
+  core::Experiment experiment(std::move(spec));
+  std::optional<core::JsonSink> json_sink;
+  if (!json_path.empty()) {
+    std::string path = json_path;
+    const std::string suffix = std::string("_") + sweep.key;
+    const auto ext = path.rfind(".json");
+    if (ext != std::string::npos) path.insert(ext, suffix);
+    else path += suffix;
+    json_sink.emplace(path);
+    experiment.add_sink(*json_sink);
+  }
+  const auto result = experiment.run();
+
+  std::vector<std::pair<std::size_t, std::size_t>> idx;  // (model, sim)
+  for (const auto p : core::all_protocols()) {
+    const std::string key(core::protocol_key(p));
+    idx.emplace_back(result.series_index("model_" + key),
+                     result.series_index("sim_" + key));
+  }
+
   std::cout << "### sweep: " << sweep.name << "\n";
   common::Table table({sweep.name, "Pure model", "Pure sim", "Bi model",
                        "Bi sim", "ABFT& model", "ABFT& sim"});
-  for (const double v : sweep.values) {
-    core::ScenarioParams s = base;
-    sweep.apply(s, v);
-    std::vector<std::string> row{sweep.show(v)};
-    for (const auto p :
-         {core::Protocol::PurePeriodicCkpt, core::Protocol::BiPeriodicCkpt,
-          core::Protocol::AbftPeriodicCkpt}) {
-      const auto m = core::evaluate(p, s);
-      core::MonteCarloOptions mc;
-      mc.replicates = reps;
-      const auto r = core::monte_carlo(p, s, {}, mc);
-      row.push_back(m.diverged ? "1.000" : common::fmt_fixed(m.waste(), 4));
-      row.push_back(r.plan_valid ? common::fmt_fixed(r.waste.mean(), 4)
-                                 : "n/a");
+  for (const auto& cell : result.cells) {
+    std::vector<std::string> row{sweep.show(cell.axis_values[0])};
+    for (const auto& [mi, si] : idx) {
+      const auto& m = cell.series[mi];
+      const auto& r = cell.series[si];
+      row.push_back(m.diverged ? "1.000" : common::fmt_fixed(m.waste, 4));
+      row.push_back(r.valid ? common::fmt_fixed(r.waste, 4) : "n/a");
     }
     table.add_row(std::move(row));
   }
@@ -62,6 +88,12 @@ int main(int argc, char** argv) {
   const auto base = core::figure7_scenario(
       common::minutes(args.get_double("mtbf-min", 120)),
       args.get_double("alpha", 0.8));
+  std::string json_path;
+  if (args.has("json")) {
+    json_path = args.get_string("json", "");
+    if (json_path.empty()) json_path = "BENCH_ablation_parameters.json";
+  }
+  args.warn_unknown(std::cerr);
 
   std::cout << "# Per-parameter sensitivity study around the Figure 7 "
                "operating point\n# (T0=1w, MTBF=2h, alpha=0.8 unless "
@@ -70,7 +102,7 @@ int main(int argc, char** argv) {
   const auto mins = [](double v) { return common::format_duration(v); };
   const auto plain = [](double v) { return common::fmt(v, 4); };
 
-  run_sweep({"C (=R) ckpt cost",
+  run_sweep({"C (=R) ckpt cost", "ckpt_cost",
              {common::minutes(1), common::minutes(5), common::minutes(10),
               common::minutes(20), common::minutes(40)},
              [](core::ScenarioParams& s, double v) {
@@ -78,37 +110,37 @@ int main(int argc, char** argv) {
                s.ckpt.full_recovery = v;
              },
              mins},
-            base, reps);
+            base, reps, json_path);
 
-  run_sweep({"R only (C fixed)",
+  run_sweep({"R only (C fixed)", "recovery",
              {common::minutes(2), common::minutes(10), common::minutes(30)},
              [](core::ScenarioParams& s, double v) { s.ckpt.full_recovery = v; },
              mins},
-            base, reps);
+            base, reps, json_path);
 
-  run_sweep({"D downtime",
+  run_sweep({"D downtime", "downtime",
              {0.0, common::minutes(1), common::minutes(5), common::minutes(15)},
              [](core::ScenarioParams& s, double v) { s.platform.downtime = v; },
              mins},
-            base, reps);
+            base, reps, json_path);
 
-  run_sweep({"rho (library memory share)",
+  run_sweep({"rho (library memory share)", "rho",
              {0.1, 0.4, 0.8, 1.0},
              [](core::ScenarioParams& s, double v) { s.ckpt.rho = v; },
              plain},
-            base, reps);
+            base, reps, json_path);
 
-  run_sweep({"phi (ABFT slowdown)",
+  run_sweep({"phi (ABFT slowdown)", "phi",
              {1.0, 1.03, 1.1, 1.3, 1.6},
              [](core::ScenarioParams& s, double v) { s.abft.phi = v; },
              plain},
-            base, reps);
+            base, reps, json_path);
 
-  run_sweep({"Recons_ABFT",
+  run_sweep({"Recons_ABFT", "recons",
              {0.0, 2.0, 60.0, common::minutes(10), common::minutes(30)},
              [](core::ScenarioParams& s, double v) { s.abft.recons = v; },
              mins},
-            base, reps);
+            base, reps, json_path);
 
   std::cout
       << "Reading: C drives both periodic protocols quadratically (via "

@@ -6,14 +6,15 @@
 /// the MTBF range, including the small-µ regime where √(2C(µ−D−R)) drops
 /// below C and must be clamped.
 ///
-/// Flags: --alpha=0.8 --reps=200
+/// Flags: --alpha=0.8 --reps=200 --mtbf-min=25,40,60,120,240,1440
+///        --json[=PATH]
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
-#include "core/monte_carlo.hpp"
+#include "core/experiment.hpp"
 #include "core/phase_model.hpp"
 
 using namespace abftc;
@@ -22,16 +23,43 @@ int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const double alpha = args.get_double("alpha", 0.8);
   const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 200));
+  const std::vector<double> mtbfs_min = args.get_double_list(
+      "mtbf-min", {25.0, 40.0, 60.0, 120.0, 240.0, 1440.0});
+  const auto json_sink =
+      core::json_sink_from_args(args, "ablation_period_choice");
+  args.warn_unknown(std::cerr);
 
   std::cout << "# Period-selection ablation: Young/Daly (Eq. 11) vs exact "
                "numeric optimum (alpha = " << alpha << ")\n\n";
 
+  core::MonteCarloOptions mc;
+  mc.replicates = reps;
+
+  core::ExperimentSpec spec;
+  spec.name = "ablation_period_choice";
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), alpha);
+  spec.sweep.axes = {core::Axis::custom(
+      "mtbf_min", mtbfs_min, [](core::ScenarioParams& s, double m) {
+        s.platform.mtbf = common::minutes(m);
+      })};
+  spec.series = {
+      {"model_yd", core::Protocol::PurePeriodicCkpt, "model",
+       {.exact_period = false}, {}},
+      {"model_exact", core::Protocol::PurePeriodicCkpt, "model",
+       {.exact_period = true}, {}},
+      {"sim_yd", core::Protocol::PurePeriodicCkpt, "sim", {}, mc},
+  };
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
   common::Table table({"MTBF", "P Young/Daly", "P exact",
                        "waste Pure (YD)", "waste Pure (exact)",
                        "sim Pure (YD)", "delta"});
-  for (const double mtbf_min :
-       {25.0, 40.0, 60.0, 120.0, 240.0, 1440.0}) {
-    const auto s = core::figure7_scenario(common::minutes(mtbf_min), alpha);
+  for (const auto& cell : result.cells) {
+    const double mtbf_min = cell.axis_values[0];
+    const auto s = result.sweep.scenario(cell.index);
     const auto p_yd = core::optimal_period_first_order(
         s.ckpt.full_cost, s.platform.mtbf, s.platform.downtime,
         s.ckpt.full_recovery);
@@ -43,19 +71,16 @@ int main(int argc, char** argv) {
                      "1.0000", "1.0000", "n/a", "-"});
       continue;
     }
-    const auto m_yd = core::evaluate_pure(s, {.exact_period = false});
-    const auto m_ex = core::evaluate_pure(s, {.exact_period = true});
-    core::MonteCarloOptions mc;
-    mc.replicates = reps;
-    const auto sim =
-        core::monte_carlo(core::Protocol::PurePeriodicCkpt, s, {}, mc);
+    const auto& m_yd = cell.series[result.series_index("model_yd")];
+    const auto& m_ex = cell.series[result.series_index("model_exact")];
+    const auto& sim = cell.series[result.series_index("sim_yd")];
     table.add_row({common::fmt(mtbf_min, 4) + "min",
                    common::format_duration(*p_yd),
                    common::format_duration(*p_ex),
-                   common::fmt_fixed(m_yd.waste(), 4),
-                   common::fmt_fixed(m_ex.waste(), 4),
-                   common::fmt_fixed(sim.waste.mean(), 4),
-                   common::fmt_fixed(m_yd.waste() - m_ex.waste(), 4)});
+                   common::fmt_fixed(m_yd.waste, 4),
+                   common::fmt_fixed(m_ex.waste, 4),
+                   common::fmt_fixed(sim.waste, 4),
+                   common::fmt_fixed(m_yd.waste - m_ex.waste, 4)});
   }
   table.print(std::cout);
 

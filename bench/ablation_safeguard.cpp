@@ -9,19 +9,27 @@
 /// waste with the safeguard on and off, against the BiPeriodicCkpt and
 /// PurePeriodicCkpt references — showing the safeguard tracking
 /// min(ABFT, periodic) as the paper intends.
+///
+/// Flags: --mtbf-min=120 --tl-min=1,5,15,30,60,120,360,1440 --json[=PATH]
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
-#include "core/protocol_models.hpp"
+#include "core/experiment.hpp"
+#include "core/phase_model.hpp"
 
 using namespace abftc;
 
 int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const double mtbf_min = args.get_double("mtbf-min", 120.0);
+  const std::vector<double> tl_mins = args.get_double_list(
+      "tl-min", {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 360.0, 1440.0});
+  const auto json_sink =
+      core::json_sink_from_args(args, "ablation_safeguard");
+  args.warn_unknown(std::cerr);
 
   // One day of work split into epochs whose library share has a fixed
   // ratio but a varying absolute duration.
@@ -29,37 +37,51 @@ int main(int argc, char** argv) {
                "(MTBF = " << mtbf_min << " min, C=R=10min, rho=0.8, "
                "phi=1.03, alpha=0.8)\n\n";
 
+  core::ExperimentSpec spec;
+  spec.name = "ablation_safeguard";
+  spec.sweep.axes = {core::Axis::custom(
+      "tl_min", tl_mins, [mtbf_min](core::ScenarioParams& s, double tl) {
+        s = core::figure7_scenario(common::minutes(mtbf_min), 0.8);
+        // Keep a one-week run but re-chunk it into epochs with T_L = tl min.
+        const double epoch = common::minutes(tl) / 0.8;
+        s.epoch.duration = epoch;
+        s.epochs = static_cast<std::size_t>(common::weeks(1) / epoch);
+      })};
+  spec.series = {
+      {"model_guarded", core::Protocol::AbftPeriodicCkpt, "model",
+       {.safeguard = true}, {}},
+      {"model_always", core::Protocol::AbftPeriodicCkpt, "model",
+       {.safeguard = false}, {}},
+      {"model_bi", core::Protocol::BiPeriodicCkpt, "model", {}, {}},
+      {"model_pure", core::Protocol::PurePeriodicCkpt, "model", {}, {}},
+  };
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
   common::Table table({"T_L per call", "phi*T_L vs P_opt", "ABFT on?",
                        "composite(safeguard)", "composite(always-ABFT)",
                        "BiPeriodic", "Pure"});
-
-  for (const double tl_min :
-       {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 360.0, 1440.0}) {
-    core::ScenarioParams s =
-        core::figure7_scenario(common::minutes(mtbf_min), 0.8);
-    // Keep a one-week run but re-chunk it into epochs with T_L = tl_min.
-    const double epoch = common::minutes(tl_min) / 0.8;
-    s.epoch.duration = epoch;
-    s.epochs = static_cast<std::size_t>(common::weeks(1) / epoch);
-    s.validate();
-
-    const auto guarded = core::evaluate_composite(s, {.safeguard = true});
-    const auto always = core::evaluate_composite(s, {.safeguard = false});
-    const auto bi = core::evaluate_bi(s);
-    const auto pure = core::evaluate_pure(s);
+  for (const auto& cell : result.cells) {
+    const auto s = result.sweep.scenario(cell.index);
+    const auto& guarded = cell.series[result.series_index("model_guarded")];
+    const auto& always = cell.series[result.series_index("model_always")];
+    const auto& bi = cell.series[result.series_index("model_bi")];
+    const auto& pure = cell.series[result.series_index("model_pure")];
     const auto p_opt = core::optimal_period_first_order(
         s.ckpt.full_cost, s.platform.mtbf, s.platform.downtime,
         s.ckpt.full_recovery);
 
     table.add_row(
-        {common::format_duration(common::minutes(tl_min)),
+        {common::format_duration(common::minutes(cell.axis_values[0])),
          common::fmt_fixed(s.abft.phi * s.epoch.library() /
                                p_opt.value_or(1.0),
                            2),
          guarded.abft_active ? "yes" : "no",
-         common::fmt_fixed(guarded.waste(), 4),
-         common::fmt_fixed(always.waste(), 4),
-         common::fmt_fixed(bi.waste(), 4), common::fmt_fixed(pure.waste(), 4)});
+         common::fmt_fixed(guarded.waste, 4),
+         common::fmt_fixed(always.waste, 4),
+         common::fmt_fixed(bi.waste, 4), common::fmt_fixed(pure.waste, 4)});
   }
   table.print(std::cout);
   std::cout << "\nReading: with short calls the always-ABFT column pays the "

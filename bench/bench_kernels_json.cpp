@@ -19,6 +19,7 @@
 #include "abft/blas.hpp"
 #include "abft/kernels.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/thread_pool.hpp"
 
 using namespace abftc;
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const int reps = static_cast<int>(args.get_int("reps", 3));
   const std::string out_path = args.get_string("out", "BENCH_kernels.json");
+  args.warn_unknown(std::cerr);
 
   std::vector<std::size_t> sizes;
   for (const std::string& p : args.positional()) {
@@ -116,17 +118,23 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot open '" << out_path << "' for writing\n";
     return 2;
   }
-  out << "{\n  \"bench\": \"abft_kernels_gemm\",\n  \"hardware_threads\": "
-      << hw << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    out << "    {\"n\": " << c.n << ", \"path\": \"" << c.path
-        << "\", \"threads\": " << c.threads << ", \"seconds\": " << c.seconds
-        << ", \"gflops\": " << c.gflops
-        << ", \"max_abs_diff_vs_naive\": " << c.max_abs_diff_vs_naive << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+  common::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "abft_kernels_gemm");
+  json.kv("hardware_threads", hw);
+  json.key("results").begin_array();
+  for (const Cell& c : cells) {
+    json.begin_object();
+    json.kv("n", c.n);
+    json.kv("path", c.path);
+    json.kv("threads", c.threads);
+    json.kv("seconds", c.seconds);
+    json.kv("gflops", c.gflops);
+    json.kv("max_abs_diff_vs_naive", c.max_abs_diff_vs_naive);
+    json.end_object();
   }
-  out << "  ]\n}\n";
+  json.end_array();
+  json.end_object();
 
   for (const Cell& c : cells)
     std::cout << "n=" << c.n << " path=" << c.path << " threads=" << c.threads

@@ -6,12 +6,15 @@
 /// the composite's waste is nearly constant in the node count, and matching
 /// the composite with checkpointing alone requires cutting C = R to ~6 s
 /// (printed here as the extra `C=R=6s` series).
+///
+/// Flags: --json[=PATH]  (the C = R = 6 s counterfactual series lands in a
+///        companion artifact with a `_c6` suffix before the extension)
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/monte_carlo.hpp"
+#include "core/experiment.hpp"
 #include "core/scaling.hpp"
 
 using namespace abftc;
@@ -23,36 +26,75 @@ static constexpr core::ModelOptions kNoSafeguard{.safeguard = false};
 
 int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
+  std::unique_ptr<core::JsonSink> json_sink, json_sink_c6;
+  if (args.has("json")) {
+    std::string path = args.get_string("json", "");
+    if (path.empty()) path = "BENCH_fig10.json";
+    std::string c6_path = path;
+    const auto ext = c6_path.rfind(".json");
+    if (ext != std::string::npos) c6_path.insert(ext, "_c6");
+    else c6_path += "_c6";
+    json_sink = std::make_unique<core::JsonSink>(path);
+    json_sink_c6 = std::make_unique<core::JsonSink>(c6_path);
+  }
+  args.warn_unknown(std::cerr);
+
   std::cout << "# Figure 10 — weak scaling, variable alpha, constant "
                "checkpoint cost (C = R = 60 s)\n\n";
 
-  auto cfg = core::figure10_config();
+  const auto cfg = core::figure10_config();
   auto fast = cfg;
   fast.base_ckpt = 6.0;  // the paper's "C = R = 6 s" NVRAM remark
+
+  core::ExperimentSpec spec;
+  spec.name = "fig10";
+  spec.sweep.axes = {core::Axis::custom(
+      "nodes", core::default_node_sweep(),
+      [cfg](core::ScenarioParams& s, double nodes) {
+        s = core::scenario_at(cfg, nodes);
+      })};
+  spec.series = core::cross_series(core::all_protocols(), {"model"},
+                                   kNoSafeguard);
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
+  // The NVRAM counterfactual re-derives every parameter from the C = R = 6 s
+  // config, so it runs as its own one-series experiment on the same axis.
+  core::ExperimentSpec fast_spec;
+  fast_spec.name = "fig10_c6";
+  fast_spec.sweep.axes = {core::Axis::custom(
+      "nodes", core::default_node_sweep(),
+      [fast](core::ScenarioParams& s, double nodes) {
+        s = core::scenario_at(fast, nodes);
+      })};
+  fast_spec.series = {{"model_pure_c6", core::Protocol::PurePeriodicCkpt,
+                       "model", kNoSafeguard, {}}};
+  core::Experiment experiment_c6(std::move(fast_spec));
+  if (json_sink_c6) experiment_c6.add_sink(*json_sink_c6);
+  const auto result_c6 = experiment_c6.run();
+
+  std::vector<std::size_t> model_idx;
+  for (const auto p : core::all_protocols())
+    model_idx.push_back(result.series_index(
+        "model_" + std::string(core::protocol_key(p))));
 
   common::Table table({"nodes", "alpha", "waste Pure", "waste Bi",
                        "waste ABFT&", "waste Pure(C=6s)", "flt Pure", "flt Bi",
                        "flt ABFT&"});
-  const core::Protocol ps[] = {core::Protocol::PurePeriodicCkpt,
-                               core::Protocol::BiPeriodicCkpt,
-                               core::Protocol::AbftPeriodicCkpt};
-  for (const double nodes : core::default_node_sweep()) {
-    const auto s = core::scenario_at(cfg, nodes);
-    std::vector<std::string> row{common::fmt(nodes, 6),
+  for (const auto& cell : result.cells) {
+    const auto s = result.sweep.scenario(cell.index);
+    std::vector<std::string> row{common::fmt(cell.axis_values[0], 6),
                                  common::fmt_fixed(s.epoch.alpha, 3)};
     std::vector<std::string> faults;
-    for (const auto p : ps) {
-      const auto m = core::evaluate(p, s, kNoSafeguard);
-      row.push_back(m.diverged ? "1.000(div)"
-                               : common::fmt_fixed(m.waste(), 3));
-      faults.push_back(
-          m.diverged ? "inf"
-                     : common::fmt_fixed(m.expected_failures(s.platform.mtbf),
-                                         1));
+    for (const std::size_t si : model_idx) {
+      const auto& m = cell.series[si];
+      row.push_back(m.diverged ? "1.000(div)" : common::fmt_fixed(m.waste, 3));
+      faults.push_back(m.diverged ? "inf" : common::fmt_fixed(m.failures, 1));
     }
-    const auto m6 = core::evaluate(core::Protocol::PurePeriodicCkpt,
-                                   core::scenario_at(fast, nodes), kNoSafeguard);
-    row.push_back(m6.diverged ? "1.000(div)" : common::fmt_fixed(m6.waste(), 3));
+    const auto& m6 = result_c6.cells[cell.index].series[0];
+    row.push_back(m6.diverged ? "1.000(div)" : common::fmt_fixed(m6.waste, 3));
     for (auto& f : faults) row.push_back(std::move(f));
     table.add_row(std::move(row));
   }

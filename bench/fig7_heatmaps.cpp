@@ -10,7 +10,9 @@
 /// MTBF, < 0.05 elsewhere).
 ///
 /// Flags: --reps=N (default 200), --mtbf-step=20, --alpha-step=0.1,
-///        --csv (emit CSV blocks after the tables)
+///        --threads=0 (grid-cell parallelism; 0 = hardware concurrency),
+///        --csv (emit CSV blocks after the tables),
+///        --json[=PATH] (write the BENCH_fig7.json result sink)
 
 #include <cmath>
 #include <iostream>
@@ -18,8 +20,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
-#include "core/monte_carlo.hpp"
-#include "core/protocol_models.hpp"
+#include "core/experiment.hpp"
 
 using namespace abftc;
 
@@ -29,47 +30,61 @@ int main(int argc, char** argv) {
   const double mtbf_step = args.get_double("mtbf-step", 20.0);
   const double alpha_step = args.get_double("alpha-step", 0.1);
   const bool csv = args.get_bool("csv", false);
+  const unsigned threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  const auto json_sink = core::json_sink_from_args(args, "fig7");
+  args.warn_unknown(std::cerr);
 
-  std::vector<double> mtbfs_min;
-  for (double m = 60.0; m <= 240.0 + 1e-9; m += mtbf_step)
-    mtbfs_min.push_back(m);
-  std::vector<double> alphas;
-  for (double a = 0.0; a <= 1.0 + 1e-9; a += alpha_step)
-    alphas.push_back(std::min(a, 1.0));
+  const auto& protocols = core::all_protocols();
+
+  core::MonteCarloOptions mc;
+  mc.replicates = reps;
+
+  core::ExperimentSpec spec;
+  spec.name = "fig7";
+  spec.threads = threads;
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), 0.0);
+  spec.sweep.axes = {
+      core::Axis::step("alpha", core::AxisField::Alpha, 0.0, 1.0, alpha_step),
+      core::Axis::custom("mtbf_min", core::step_grid(60.0, 240.0, mtbf_step),
+                         [](core::ScenarioParams& s, double m) {
+                           s.platform.mtbf = common::minutes(m);
+                         })};
+  spec.series = core::cross_series(protocols, {"model", "sim"}, {}, mc);
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+  const std::vector<double>& alphas = result.sweep.axes[0].grid;
+  const std::vector<double>& mtbfs_min = result.sweep.axes[1].grid;
 
   std::cout << "# Figure 7 — waste vs (MTBF, alpha); T0=1w, C=R=10min, "
                "D=1min, rho=0.8, phi=1.03, Recons=2s; "
             << reps << " sim replicates/cell\n\n";
 
-  const core::Protocol protocols[] = {core::Protocol::PurePeriodicCkpt,
-                                      core::Protocol::BiPeriodicCkpt,
-                                      core::Protocol::AbftPeriodicCkpt};
   const char* panel_model[] = {"(a)", "(c)", "(e)"};
   const char* panel_diff[] = {"(b)", "(d)", "(f)"};
 
   int pi = 0;
   for (const auto protocol : protocols) {
-    std::vector<std::vector<double>> model_grid, diff_grid;
+    const std::string key(core::protocol_key(protocol));
+    const auto model_grid =
+        result.grid(result.series_index("model_" + key), core::Metric::Waste);
+    const auto sim_grid =
+        result.grid(result.series_index("sim_" + key), core::Metric::Waste);
+
+    std::vector<std::vector<double>> diff_grid(alphas.size());
     double max_abs_diff = 0.0, max_diff_at_min_mtbf = 0.0;
-    for (const double alpha : alphas) {
-      std::vector<double> model_row, diff_row;
-      for (const double mtbf_min : mtbfs_min) {
-        const auto scenario =
-            core::figure7_scenario(common::minutes(mtbf_min), alpha);
-        const auto model = core::evaluate(protocol, scenario);
-        core::MonteCarloOptions mc;
-        mc.replicates = reps;
-        const auto sim = core::monte_carlo(protocol, scenario, {}, mc);
-        const double diff = sim.waste.mean() - model.waste();
-        model_row.push_back(model.waste());
-        diff_row.push_back(diff);
+    for (std::size_t yi = 0; yi < alphas.size(); ++yi) {
+      diff_grid[yi].resize(mtbfs_min.size());
+      for (std::size_t xi = 0; xi < mtbfs_min.size(); ++xi) {
+        const double diff = sim_grid[yi][xi] - model_grid[yi][xi];
+        diff_grid[yi][xi] = diff;
         max_abs_diff = std::max(max_abs_diff, std::fabs(diff));
-        if (mtbf_min == mtbfs_min.front())
+        if (xi == 0)
           max_diff_at_min_mtbf =
               std::max(max_diff_at_min_mtbf, std::fabs(diff));
       }
-      model_grid.push_back(std::move(model_row));
-      diff_grid.push_back(std::move(diff_row));
     }
 
     common::print_grid(std::cout,

@@ -11,12 +11,14 @@
 /// parameters cannot reproduce the published curves) is in EXPERIMENTS.md;
 /// pass --literal to print the literal-text configuration and watch every
 /// protocol diverge beyond ~300k nodes.
+///
+/// Flags: --sim --reps=100 --json[=PATH]
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/monte_carlo.hpp"
+#include "core/experiment.hpp"
 #include "core/scaling.hpp"
 
 using namespace abftc;
@@ -28,48 +30,64 @@ static constexpr core::ModelOptions kNoSafeguard{.safeguard = false};
 
 namespace {
 
-void run_sweep(const core::WeakScalingConfig& cfg, bool with_sim,
-               std::size_t reps) {
+core::ExperimentSpec make_spec(std::string name,
+                               const core::WeakScalingConfig& cfg,
+                               bool with_sim, std::size_t reps) {
+  core::ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.sweep.axes = {core::Axis::custom(
+      "nodes", core::default_node_sweep(),
+      [cfg](core::ScenarioParams& s, double nodes) {
+        s = core::scenario_at(cfg, nodes);
+      })};
+  std::vector<std::string> evaluators = {"model"};
+  if (with_sim) evaluators.push_back("sim");
+  core::MonteCarloOptions mc;
+  mc.replicates = reps > 0 ? reps : 1;
+  spec.series =
+      core::cross_series(core::all_protocols(), evaluators, kNoSafeguard, mc);
+  return spec;
+}
+
+void run_sweep(const std::string& name, const core::WeakScalingConfig& cfg,
+               bool with_sim, std::size_t reps, core::ResultSink* sink) {
+  core::Experiment experiment(make_spec(name, cfg, with_sim, reps));
+  if (sink) experiment.add_sink(*sink);
+  const auto result = experiment.run();
+
+  std::vector<std::size_t> model_idx, sim_idx;
+  for (const auto p : core::all_protocols()) {
+    const std::string key(core::protocol_key(p));
+    model_idx.push_back(result.series_index("model_" + key));
+    if (with_sim) sim_idx.push_back(result.series_index("sim_" + key));
+  }
+
   common::Table table({"nodes", "alpha", "C=R[s]", "MTBF[s]",
                        "waste Pure", "waste Bi", "waste ABFT&", "flt Pure",
                        "flt Bi", "flt ABFT&"});
-  const core::Protocol ps[] = {core::Protocol::PurePeriodicCkpt,
-                               core::Protocol::BiPeriodicCkpt,
-                               core::Protocol::AbftPeriodicCkpt};
-  for (const double nodes : core::default_node_sweep()) {
-    const auto s = core::scenario_at(cfg, nodes);
+  for (const auto& cell : result.cells) {
+    const auto s = result.sweep.scenario(cell.index);
     std::vector<std::string> row{
-        common::fmt(nodes, 6), common::fmt_fixed(s.epoch.alpha, 3),
+        common::fmt(cell.axis_values[0], 6), common::fmt_fixed(s.epoch.alpha, 3),
         common::fmt(s.ckpt.full_cost, 4), common::fmt(s.platform.mtbf, 5)};
     std::vector<std::string> faults;
-    for (const auto p : ps) {
-      const auto m = core::evaluate(p, s, kNoSafeguard);
-      row.push_back(m.diverged ? "1.000(div)"
-                               : common::fmt_fixed(m.waste(), 3));
-      faults.push_back(m.diverged
-                           ? "inf"
-                           : common::fmt_fixed(
-                                 m.expected_failures(s.platform.mtbf), 1));
+    for (const std::size_t si : model_idx) {
+      const auto& m = cell.series[si];
+      row.push_back(m.diverged ? "1.000(div)" : common::fmt_fixed(m.waste, 3));
+      faults.push_back(m.diverged ? "inf" : common::fmt_fixed(m.failures, 1));
     }
     for (auto& f : faults) row.push_back(std::move(f));
     table.add_row(std::move(row));
 
     if (with_sim) {
       std::vector<std::string> sim_row{"  (sim)", "", "", ""};
-      for (const auto p : ps) {
-        core::MonteCarloOptions mc;
-        mc.replicates = reps;
-        const auto r = core::monte_carlo(p, s, kNoSafeguard, mc);
-        sim_row.push_back(r.plan_valid ? common::fmt_fixed(r.waste.mean(), 3)
-                                       : "n/a");
+      for (const std::size_t si : sim_idx) {
+        const auto& r = cell.series[si];
+        sim_row.push_back(r.valid ? common::fmt_fixed(r.waste, 3) : "n/a");
       }
-      for (const auto p : ps) {
-        core::MonteCarloOptions mc;
-        mc.replicates = reps;
-        const auto r = core::monte_carlo(p, s, kNoSafeguard, mc);
-        sim_row.push_back(r.plan_valid
-                              ? common::fmt_fixed(r.failures.mean(), 1)
-                              : "n/a");
+      for (const std::size_t si : sim_idx) {
+        const auto& r = cell.series[si];
+        sim_row.push_back(r.valid ? common::fmt_fixed(r.failures, 1) : "n/a");
       }
       table.add_row(std::move(sim_row));
     }
@@ -83,10 +101,13 @@ int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const bool with_sim = args.get_bool("sim", false);
   const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 100));
+  const bool literal = args.get_bool("literal", false);
+  const auto json_sink = core::json_sink_from_args(args, "fig8");
+  args.warn_unknown(std::cerr);
 
   std::cout << "# Figure 8 — weak scaling, fixed alpha = 0.8 "
                "(1000 epochs, both phases O(n^3))\n\n";
-  run_sweep(core::figure8_config(), with_sim, reps);
+  run_sweep("fig8", core::figure8_config(), with_sim, reps, json_sink.get());
 
   std::cout << "\nShape checks (paper, Section V-C):\n"
                "  * below ~100k nodes the ABFT fault-free overhead makes the "
@@ -97,12 +118,13 @@ int main(int argc, char** argv) {
                "  * the periodic protocols suffer more failures (their "
                "executions run longer).\n";
 
-  if (args.get_bool("literal", false)) {
+  if (literal) {
     std::cout << "\n# Literal Section V-C text parameters (epoch = 1 min at "
                  "10k nodes, C ∝ x, MTBF ∝ 1/x):\n"
                  "# every protocol hits waste = 1 once µ < C + R + D — the "
                  "published curves cannot come from these numbers.\n\n";
-    run_sweep(core::figure8_literal_config(), false, 0);
+    run_sweep("fig8_literal", core::figure8_literal_config(), false, 0,
+              nullptr);
   }
   return 0;
 }

@@ -4,12 +4,14 @@
 /// (constant time under weak scaling), so α grows with the machine:
 /// 0.55 → 0.8 → 0.92 → 0.975 across 1k → 10k → 100k → 1M nodes, matching
 /// the α labels printed under the published figure's x-axis.
+///
+/// Flags: --json[=PATH]
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/monte_carlo.hpp"
+#include "core/experiment.hpp"
 #include "core/scaling.hpp"
 
 using namespace abftc;
@@ -21,6 +23,9 @@ static constexpr core::ModelOptions kNoSafeguard{.safeguard = false};
 
 int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
+  const auto json_sink = core::json_sink_from_args(args, "fig9");
+  args.warn_unknown(std::cerr);
+
   std::cout << "# Figure 9 — weak scaling, variable alpha "
                "(LIBRARY O(n^3), GENERAL O(n^2))\n\n";
 
@@ -37,24 +42,36 @@ int main(int argc, char** argv) {
   anchors.print(std::cout);
   std::cout << '\n';
 
+  core::ExperimentSpec spec;
+  spec.name = "fig9";
+  spec.sweep.axes = {core::Axis::custom(
+      "nodes", core::default_node_sweep(),
+      [cfg](core::ScenarioParams& s, double nodes) {
+        s = core::scenario_at(cfg, nodes);
+      })};
+  spec.series = core::cross_series(core::all_protocols(), {"model"},
+                                   kNoSafeguard);
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
+  std::vector<std::size_t> model_idx;
+  for (const auto p : core::all_protocols())
+    model_idx.push_back(result.series_index(
+        "model_" + std::string(core::protocol_key(p))));
+
   common::Table table({"nodes", "alpha", "waste Pure", "waste Bi",
                        "waste ABFT&", "flt Pure", "flt Bi", "flt ABFT&"});
-  const core::Protocol ps[] = {core::Protocol::PurePeriodicCkpt,
-                               core::Protocol::BiPeriodicCkpt,
-                               core::Protocol::AbftPeriodicCkpt};
-  for (const double nodes : core::default_node_sweep()) {
-    const auto s = core::scenario_at(cfg, nodes);
-    std::vector<std::string> row{common::fmt(nodes, 6),
+  for (const auto& cell : result.cells) {
+    const auto s = result.sweep.scenario(cell.index);
+    std::vector<std::string> row{common::fmt(cell.axis_values[0], 6),
                                  common::fmt_fixed(s.epoch.alpha, 3)};
     std::vector<std::string> faults;
-    for (const auto p : ps) {
-      const auto m = core::evaluate(p, s, kNoSafeguard);
-      row.push_back(m.diverged ? "1.000(div)"
-                               : common::fmt_fixed(m.waste(), 3));
-      faults.push_back(
-          m.diverged ? "inf"
-                     : common::fmt_fixed(m.expected_failures(s.platform.mtbf),
-                                         1));
+    for (const std::size_t si : model_idx) {
+      const auto& m = cell.series[si];
+      row.push_back(m.diverged ? "1.000(div)" : common::fmt_fixed(m.waste, 3));
+      faults.push_back(m.diverged ? "inf" : common::fmt_fixed(m.failures, 1));
     }
     for (auto& f : faults) row.push_back(std::move(f));
     table.add_row(std::move(row));

@@ -16,14 +16,15 @@
 ///   --mtbf-shrink=sqrt
 ///   --safeguard            enable the §III-B safeguard (off to match figs)
 ///   --min-nodes=1000 --max-nodes=1e6 --ppd=4 (points per decade)
+///   --json[=PATH]          write the BENCH_weak_scaling.json result sink
 
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/time_units.hpp"
+#include "core/experiment.hpp"
 #include "core/phase_model.hpp"
-#include "core/protocol_models.hpp"
 #include "core/scaling.hpp"
 
 using namespace abftc;
@@ -62,30 +63,58 @@ int main(int argc, char** argv) {
   const double lo = args.get_double("min-nodes", 1000);
   const double hi = args.get_double("max-nodes", 1e6);
   const int ppd = static_cast<int>(args.get_int("ppd", 4));
+  const auto json_sink = core::json_sink_from_args(args, "weak_scaling");
+  args.warn_unknown(std::cerr);
+
+  std::vector<double> nodes_grid;
+  for (const double nodes : core::default_node_sweep(ppd))
+    if (nodes >= lo && nodes <= hi) nodes_grid.push_back(nodes);
+
+  common::Table table({"nodes", "alpha", "epoch", "C=R", "MTBF", "P_opt",
+                       "waste Pure", "waste Bi", "waste ABFT&"});
+  if (nodes_grid.empty()) {
+    // No sweep points inside [--min-nodes, --max-nodes]: empty table, not
+    // an error (matches the pre-engine filter-in-the-loop behaviour).
+    std::cout << "# Weak-scaling exploration (safeguard "
+              << (opt.safeguard ? "on" : "off") << ")\n\n";
+    table.print(std::cout);
+    return 0;
+  }
+
+  core::ExperimentSpec spec;
+  spec.name = "weak_scaling";
+  spec.sweep.axes = {core::Axis::custom(
+      "nodes", nodes_grid, [cfg](core::ScenarioParams& s, double nodes) {
+        s = core::scenario_at(cfg, nodes);
+      })};
+  spec.series = core::cross_series(core::all_protocols(), {"model"}, opt);
+
+  core::Experiment experiment(std::move(spec));
+  if (json_sink) experiment.add_sink(*json_sink);
+  const auto result = experiment.run();
+
+  std::vector<std::size_t> model_idx;
+  for (const auto proto : core::all_protocols())
+    model_idx.push_back(result.series_index(
+        "model_" + std::string(core::protocol_key(proto))));
 
   std::cout << "# Weak-scaling exploration (safeguard "
             << (opt.safeguard ? "on" : "off") << ")\n\n";
-  common::Table table({"nodes", "alpha", "epoch", "C=R", "MTBF", "P_opt",
-                       "waste Pure", "waste Bi", "waste ABFT&"});
-  for (const double nodes : core::default_node_sweep(ppd)) {
-    if (nodes < lo || nodes > hi) continue;
-    const auto s = core::scenario_at(cfg, nodes);
+  for (const auto& cell : result.cells) {
+    const auto s = result.sweep.scenario(cell.index);
     const auto p = core::optimal_period_first_order(
         s.ckpt.full_cost, s.platform.mtbf, s.platform.downtime,
         s.ckpt.full_recovery);
     std::vector<std::string> row;
-    row.push_back(common::fmt(nodes, 6));
+    row.push_back(common::fmt(cell.axis_values[0], 6));
     row.push_back(common::fmt_fixed(s.epoch.alpha, 3));
     row.push_back(common::format_duration(s.epoch.duration));
     row.push_back(common::format_duration(s.ckpt.full_cost));
     row.push_back(common::format_duration(s.platform.mtbf));
     row.push_back(p ? common::format_duration(*p) : std::string("none"));
-    for (const auto proto :
-         {core::Protocol::PurePeriodicCkpt, core::Protocol::BiPeriodicCkpt,
-          core::Protocol::AbftPeriodicCkpt}) {
-      const auto m = core::evaluate(proto, s, opt);
-      row.push_back(m.diverged ? "1.000(div)"
-                               : common::fmt_fixed(m.waste(), 3));
+    for (const std::size_t si : model_idx) {
+      const auto& m = cell.series[si];
+      row.push_back(m.diverged ? "1.000(div)" : common::fmt_fixed(m.waste, 3));
     }
     table.add_row(std::move(row));
   }

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <ostream>
 
 #include "common/error.hpp"
 
@@ -28,10 +29,12 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
 }
 
 bool ArgParser::has(const std::string& name) const {
+  accessed_.insert(name);
   return options_.count(name) > 0;
 }
 
 std::optional<std::string> ArgParser::raw(const std::string& name) const {
+  accessed_.insert(name);
   const auto it = options_.find(name);
   if (it == options_.end()) return std::nullopt;
   return it->second;
@@ -63,6 +66,54 @@ long long ArgParser::get_int(const std::string& name, long long def) const {
     return i;
   }
   return def;
+}
+
+std::vector<std::string> ArgParser::get_list(
+    const std::string& name, std::vector<std::string> def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  ABFTC_REQUIRE(!v->empty(), "--" + name + " expects a comma-separated list");
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = v->find(',', start);
+    const std::string item = v->substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    ABFTC_REQUIRE(!item.empty(),
+                  "--" + name + " has an empty list item in '" + *v + "'");
+    items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<double> ArgParser::get_double_list(const std::string& name,
+                                               std::vector<double> def) const {
+  if (!raw(name)) return def;
+  std::vector<double> out;
+  for (const std::string& item : get_list(name)) {
+    char* end = nullptr;
+    const double d = std::strtod(item.c_str(), &end);
+    ABFTC_REQUIRE(end && *end == '\0',
+                  "--" + name + " expects numbers, got '" + item + "'");
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_)
+    if (accessed_.count(name) == 0) out.push_back(name);
+  return out;
+}
+
+std::size_t ArgParser::warn_unknown(std::ostream& os) const {
+  const auto names = unknown();
+  for (const auto& name : names)
+    os << "warning: unknown flag --" << name << " (ignored)\n";
+  return names.size();
 }
 
 bool ArgParser::get_bool(const std::string& name, bool def) const {

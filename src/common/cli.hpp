@@ -1,10 +1,13 @@
 #pragma once
 /// \file cli.hpp
 /// Minimal command-line option parsing for the bench/example binaries.
-/// Accepts `--key=value`, `--key value` and bare `--flag` switches.
+/// Accepts `--key=value`, `--key value` and bare `--flag` switches, plus
+/// comma-separated list values (`--alpha=0.0,0.45,0.8`) for sweep axes.
 
+#include <iosfwd>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,22 @@ class ArgParser {
   [[nodiscard]] long long get_int(const std::string& name, long long def) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
 
+  /// `--key=v1,v2,v3` as strings; `def` when the flag is absent. Empty
+  /// items are rejected (`--key=1,,2` is malformed).
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& name, std::vector<std::string> def = {}) const;
+  /// `--key=v1,v2,v3` parsed as doubles (used by sweep axes).
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name, std::vector<double> def = {}) const;
+
+  /// Flags that were given but never read by any get_*/has() call — i.e.
+  /// flags the binary does not understand. Call after all options have been
+  /// read (typically right before the work starts).
+  [[nodiscard]] std::vector<std::string> unknown() const;
+  /// Print a `warning: unknown flag --x (ignored)` line per unknown flag.
+  /// Returns the number of warnings issued.
+  std::size_t warn_unknown(std::ostream& os) const;
+
   /// Positional (non --) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -35,6 +54,7 @@ class ArgParser {
   std::string program_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
+  mutable std::set<std::string> accessed_;
 };
 
 }  // namespace abftc::common

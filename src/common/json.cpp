@@ -1,0 +1,167 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace abftc::common {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  ABFTC_CHECK(res.ec == std::errc(), "double to_chars cannot fail on 64 bytes");
+  return std::string(buf, res.ptr);
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::raw(std::string_view text) { os_ << text; }
+
+void JsonWriter::indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value sits on the key's line
+  }
+  ABFTC_REQUIRE(stack_.empty() ? !wrote_root_
+                               : stack_.back() == Scope::Array,
+                "JSON object members need key() before each value");
+  if (!stack_.empty()) {
+    if (!first_in_scope_) raw(",");
+    indent();
+  }
+  first_in_scope_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  ABFTC_REQUIRE(!stack_.empty() && stack_.back() == Scope::Object,
+                "key() is only valid inside an object");
+  ABFTC_REQUIRE(!after_key_, "key() cannot follow another key()");
+  if (!first_in_scope_) raw(",");
+  indent();
+  os_ << '"' << json_escape(k) << "\": ";
+  first_in_scope_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  raw("{");
+  stack_.push_back(Scope::Object);
+  first_in_scope_ = true;
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  raw("[");
+  stack_.push_back(Scope::Array);
+  first_in_scope_ = true;
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ABFTC_REQUIRE(!stack_.empty() && stack_.back() == Scope::Object,
+                "end_object() without matching begin_object()");
+  ABFTC_REQUIRE(!after_key_, "dangling key() before end_object()");
+  const bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) indent();
+  raw("}");
+  first_in_scope_ = false;
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ABFTC_REQUIRE(!stack_.empty() && stack_.back() == Scope::Array,
+                "end_array() without matching begin_array()");
+  const bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) indent();
+  raw("]");
+  first_in_scope_ = false;
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  os_ << '"' << json_escape(v) << '"';
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  os_ << number(v);
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  raw(v ? "true" : "false");
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_int(std::int64_t v) {
+  pre_value();
+  os_ << v;
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  raw("null");
+  wrote_root_ = true;
+  return *this;
+}
+
+}  // namespace abftc::common

@@ -1,0 +1,90 @@
+#pragma once
+/// \file json.hpp
+/// Minimal streaming JSON writer for the BENCH_*.json artifacts.
+///
+/// The writer is a push API over an ostream: begin/end object and array,
+/// `key()` inside objects, scalar `value()` overloads. Commas, quoting,
+/// string escaping and 2-space indentation are handled internally, so every
+/// emitter in the repo (bench probes, result sinks) produces the same
+/// machine-readable shape. Doubles are rendered with std::to_chars, the
+/// shortest representation that round-trips; non-finite values become
+/// `null` (JSON has no NaN/Inf).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace abftc::common {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& os);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or begin_*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  /// Any integer type (size_t, unsigned, long, ...) without overload
+  /// ambiguity across LP64/LLP64 platforms. bool prefers the exact
+  /// non-template overload above.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && std::is_signed_v<T>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    return write_int(static_cast<std::int64_t>(v));
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && std::is_unsigned_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    return write_uint(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once all opened scopes are closed again.
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && wrote_root_;
+  }
+
+  /// Render a double exactly as `value(double)` would (shortest round-trip).
+  [[nodiscard]] static std::string number(double v);
+
+ private:
+  enum class Scope : std::uint8_t { Object, Array };
+  JsonWriter& write_int(std::int64_t v);
+  JsonWriter& write_uint(std::uint64_t v);
+  void pre_value();   ///< comma/newline/indent before a value or key
+  void raw(std::string_view text);
+  void indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  bool first_in_scope_ = true;
+  bool after_key_ = false;
+  bool wrote_root_ = false;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace abftc::common

@@ -1,0 +1,400 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace abftc::core {
+
+// ---- Metrics ---------------------------------------------------------------
+
+double metric_value(const EvalResult& r, Metric m) noexcept {
+  switch (m) {
+    case Metric::Waste: return r.waste;
+    case Metric::TFinal: return r.t_final;
+    case Metric::Failures: return r.failures;
+    case Metric::Valid: return r.valid ? 1.0 : 0.0;
+    case Metric::PeriodGeneral: return r.period_general;
+    case Metric::PeriodLibrary: return r.period_library;
+    case Metric::AbftActive: return r.abft_active ? 1.0 : 0.0;
+    case Metric::WasteStderr: return r.waste_stderr;
+    case Metric::Lost: return r.lost;
+  }
+  return 0.0;
+}
+
+std::string_view to_string(Metric m) noexcept {
+  switch (m) {
+    case Metric::Waste: return "waste";
+    case Metric::TFinal: return "t_final";
+    case Metric::Failures: return "failures";
+    case Metric::Valid: return "valid";
+    case Metric::PeriodGeneral: return "period_general";
+    case Metric::PeriodLibrary: return "period_library";
+    case Metric::AbftActive: return "abft_active";
+    case Metric::WasteStderr: return "waste_stderr";
+    case Metric::Lost: return "lost";
+  }
+  return "?";
+}
+
+// ---- Built-in evaluators ---------------------------------------------------
+
+namespace {
+
+/// Section IV analytical waste model.
+class AnalyticalModel final : public Evaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "model";
+  }
+  [[nodiscard]] EvalResult evaluate(Protocol p, const ScenarioParams& s,
+                                    const EvalContext& ctx) const override {
+    const ProtocolResult m = core::evaluate(p, s, ctx.model);
+    EvalResult out;
+    out.valid = !m.diverged;
+    out.diverged = m.diverged;
+    out.waste = m.waste();
+    out.t_final = m.t_final;
+    out.failures = m.expected_failures(s.platform.mtbf);
+    out.period_general = m.period_general;
+    out.period_library = m.period_library;
+    out.abft_active = m.abft_active;
+    out.bi_stream = m.bi_stream;
+    return out;
+  }
+};
+
+/// Section V-A replicated discrete-event simulation.
+class MonteCarloSim final : public Evaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sim";
+  }
+  [[nodiscard]] EvalResult evaluate(Protocol p, const ScenarioParams& s,
+                                    const EvalContext& ctx) const override {
+    const MonteCarloResult r = monte_carlo(p, s, ctx.model, ctx.mc);
+    EvalResult out;
+    out.valid = r.plan_valid;
+    out.diverged = !r.plan_valid;
+    if (r.plan_valid) {
+      out.waste = r.waste.mean();
+      out.t_final = r.t_final.mean();
+      out.failures = r.failures.mean();
+      out.waste_stderr = r.waste.stderr_mean();
+      out.lost = r.lost_time.mean();
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+// ---- Registry --------------------------------------------------------------
+
+struct EvaluatorRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::shared_ptr<const Evaluator>, std::less<>>
+      evaluators;
+};
+
+EvaluatorRegistry::EvaluatorRegistry() : impl_(std::make_shared<Impl>()) {}
+
+EvaluatorRegistry& EvaluatorRegistry::instance() {
+  static EvaluatorRegistry registry = [] {
+    EvaluatorRegistry r;
+    r.add(std::make_unique<AnalyticalModel>());
+    r.add(std::make_unique<MonteCarloSim>());
+    return r;
+  }();
+  return registry;
+}
+
+void EvaluatorRegistry::add(std::unique_ptr<Evaluator> e) {
+  ABFTC_REQUIRE(e != nullptr, "cannot register a null evaluator");
+  ABFTC_REQUIRE(!e->name().empty(), "evaluator needs a non-empty name");
+  std::lock_guard lock(impl_->mutex);
+  impl_->evaluators[std::string(e->name())] = std::move(e);
+}
+
+std::shared_ptr<const Evaluator> EvaluatorRegistry::find(
+    std::string_view name) const {
+  std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->evaluators.find(name);
+  return it == impl_->evaluators.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Evaluator> EvaluatorRegistry::at(
+    std::string_view name) const {
+  if (auto e = find(name)) return e;
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  ABFTC_REQUIRE(false, "no evaluator named '" + std::string(name) +
+                           "' (registered: " + known + ")");
+  throw std::logic_error("unreachable");
+}
+
+std::vector<std::string> EvaluatorRegistry::names() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->evaluators.size());
+  for (const auto& [name, e] : impl_->evaluators) out.push_back(name);
+  return out;
+}
+
+// ---- Series helpers --------------------------------------------------------
+
+std::string_view protocol_key(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::PurePeriodicCkpt: return "pure";
+    case Protocol::BiPeriodicCkpt: return "bi";
+    case Protocol::AbftPeriodicCkpt: return "abft";
+  }
+  return "?";
+}
+
+const std::vector<Protocol>& all_protocols() noexcept {
+  static const std::vector<Protocol> protocols = {
+      Protocol::PurePeriodicCkpt, Protocol::BiPeriodicCkpt,
+      Protocol::AbftPeriodicCkpt};
+  return protocols;
+}
+
+std::vector<Series> cross_series(const std::vector<Protocol>& protocols,
+                                 const std::vector<std::string>& evaluators,
+                                 const ModelOptions& model,
+                                 const MonteCarloOptions& mc) {
+  std::vector<Series> out;
+  out.reserve(protocols.size() * evaluators.size());
+  for (const auto& evaluator : evaluators)
+    for (const Protocol p : protocols)
+      out.push_back({evaluator + "_" + std::string(protocol_key(p)), p,
+                     evaluator, model, mc});
+  return out;
+}
+
+// ---- Spec / result ---------------------------------------------------------
+
+void ExperimentSpec::validate() const {
+  ABFTC_REQUIRE(!name.empty(), "experiment needs a name");
+  ABFTC_REQUIRE(!series.empty(), "experiment needs at least one series");
+  sweep.validate();
+  for (const auto& s : series) {
+    ABFTC_REQUIRE(!s.label.empty(), "series needs a label");
+    (void)EvaluatorRegistry::instance().at(s.evaluator);
+  }
+}
+
+std::size_t ExperimentResult::series_index(std::string_view label) const {
+  for (std::size_t i = 0; i < series_labels.size(); ++i)
+    if (series_labels[i] == label) return i;
+  ABFTC_REQUIRE(false, "no series labelled '" + std::string(label) + "'");
+  throw std::logic_error("unreachable");
+}
+
+std::vector<double> ExperimentResult::column(std::size_t series,
+                                             Metric m) const {
+  ABFTC_REQUIRE(series < series_labels.size(), "series index out of range");
+  std::vector<double> out;
+  out.reserve(cells.size());
+  for (const auto& cell : cells)
+    out.push_back(metric_value(cell.series[series], m));
+  return out;
+}
+
+std::vector<std::vector<double>> ExperimentResult::grid(std::size_t series,
+                                                        Metric m) const {
+  ABFTC_REQUIRE(sweep.axes.size() == 2 && sweep.combine == Combine::Cartesian,
+                "grid() needs a 2-axis cartesian sweep");
+  const std::size_t n0 = sweep.axes[0].size(), n1 = sweep.axes[1].size();
+  const auto flat = column(series, m);
+  std::vector<std::vector<double>> out(n0, std::vector<double>(n1));
+  for (std::size_t i = 0; i < n0; ++i)
+    for (std::size_t j = 0; j < n1; ++j) out[i][j] = flat[i * n1 + j];
+  return out;
+}
+
+// ---- Sinks -----------------------------------------------------------------
+
+TableSink::TableSink(std::ostream& os, int precision)
+    : os_(os), precision_(precision) {}
+
+void TableSink::begin(const SinkHeader&) { rows_.clear(); }
+
+void TableSink::row(const SinkHeader&, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(common::fmt(v, precision_));
+  rows_.push_back(std::move(cells));
+}
+
+void TableSink::end(const SinkHeader& header) {
+  common::Table table(header.columns);
+  for (auto& r : rows_) table.add_row(std::move(r));
+  rows_.clear();
+  table.print(os_);
+}
+
+CsvSink::CsvSink(std::ostream& os) : os_(os) {}
+
+void CsvSink::begin(const SinkHeader& header) {
+  for (std::size_t c = 0; c < header.columns.size(); ++c)
+    os_ << (c ? "," : "") << header.columns[c];
+  os_ << '\n';
+}
+
+void CsvSink::row(const SinkHeader&, const std::vector<double>& values) {
+  for (std::size_t c = 0; c < values.size(); ++c)
+    os_ << (c ? "," : "") << common::JsonWriter::number(values[c]);
+  os_ << '\n';
+}
+
+void CsvSink::end(const SinkHeader&) {}
+
+struct JsonSink::FileState {
+  std::ofstream stream;
+};
+
+JsonSink::JsonSink(std::ostream& os) : os_(&os) {}
+
+JsonSink::JsonSink(const std::string& path)
+    : file_(std::make_unique<FileState>()) {
+  file_->stream.open(path);
+  ABFTC_REQUIRE(file_->stream.is_open(),
+                "cannot open '" + path + "' for writing");
+  os_ = &file_->stream;
+}
+
+JsonSink::~JsonSink() = default;
+
+void JsonSink::begin(const SinkHeader& header) {
+  json_ = std::make_unique<common::JsonWriter>(*os_);
+  json_->begin_object();
+  json_->kv("bench", header.experiment);
+  json_->key("axes").begin_array();
+  for (std::size_t c = 0; c < header.axis_count; ++c)
+    json_->value(header.columns[c]);
+  json_->end_array();
+  json_->key("columns").begin_array();
+  for (const auto& col : header.columns) json_->value(col);
+  json_->end_array();
+  json_->key("results").begin_array();
+}
+
+void JsonSink::row(const SinkHeader& header,
+                   const std::vector<double>& values) {
+  json_->begin_object();
+  for (std::size_t c = 0; c < values.size(); ++c)
+    json_->kv(header.columns[c], values[c]);
+  json_->end_object();
+}
+
+void JsonSink::end(const SinkHeader&) {
+  json_->end_array();
+  json_->end_object();
+  json_.reset();
+  os_->flush();
+}
+
+std::unique_ptr<JsonSink> json_sink_from_args(const common::ArgParser& args,
+                                              std::string_view bench_name) {
+  if (!args.has("json")) return nullptr;
+  std::string path = args.get_string("json", "");
+  if (path.empty()) path = "BENCH_" + std::string(bench_name) + ".json";
+  return std::make_unique<JsonSink>(path);
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+Experiment::Experiment(ExperimentSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+Experiment& Experiment::add_sink(ResultSink& sink) {
+  sinks_.push_back(&sink);
+  return *this;
+}
+
+SinkHeader Experiment::header_for(const ExperimentSpec& spec) {
+  SinkHeader h;
+  h.experiment = spec.name;
+  h.axis_count = spec.sweep.axes.size();
+  for (const auto& axis : spec.sweep.axes) h.columns.push_back(axis.name);
+  for (const auto& s : spec.series)
+    for (const Metric m : kSinkMetrics)
+      h.columns.push_back(s.label + "." + std::string(to_string(m)));
+  return h;
+}
+
+ExperimentResult Experiment::run() const {
+  const std::size_t n_cells = spec_.sweep.cells();
+  const std::size_t n_series = spec_.series.size();
+
+  // Resolve evaluators once, outside the hot loop; shared ownership keeps
+  // them alive even if the registry entry is replaced mid-run.
+  std::vector<std::shared_ptr<const Evaluator>> evaluators(n_series);
+  for (std::size_t si = 0; si < n_series; ++si)
+    evaluators[si] = EvaluatorRegistry::instance().at(spec_.series[si].evaluator);
+
+  // Split the thread budget between the two parallel dimensions: the grid
+  // gets the workers, and when there are fewer cells than workers each
+  // cell's evaluator may use the leftover for its own replicate loop
+  // (determinism is per-replicate Rng::split, so the split is free).
+  const unsigned workers = common::effective_threads(spec_.threads);
+  const unsigned inner_threads =
+      n_cells >= workers ? 1
+                         : std::max(1u, workers / static_cast<unsigned>(n_cells));
+
+  ExperimentResult result;
+  result.name = spec_.name;
+  result.sweep = spec_.sweep;
+  for (const auto& s : spec_.series) result.series_labels.push_back(s.label);
+  result.cells.resize(n_cells);
+
+  common::parallel_for(
+      n_cells,
+      [&](std::size_t cell) {
+        CellRecord rec;
+        rec.index = cell;
+        rec.axis_values = spec_.sweep.values_at(cell);
+        const ScenarioParams scenario = spec_.sweep.scenario(cell);
+        rec.series.reserve(n_series);
+        for (std::size_t si = 0; si < n_series; ++si) {
+          EvalContext ctx{spec_.series[si].model, spec_.series[si].mc};
+          // 0 means "auto": give the evaluator the leftover thread budget.
+          // An explicit Series-level thread count is honoured as-is.
+          if (ctx.mc.threads == 0) ctx.mc.threads = inner_threads;
+          rec.series.push_back(
+              evaluators[si]->evaluate(spec_.series[si].protocol, scenario,
+                                       ctx));
+        }
+        result.cells[cell] = std::move(rec);
+      },
+      spec_.threads);
+
+  if (!sinks_.empty()) {
+    const SinkHeader header = header_for(spec_);
+    for (ResultSink* sink : sinks_) sink->begin(header);
+    std::vector<double> values;
+    for (const auto& cell : result.cells) {
+      values.clear();
+      values.insert(values.end(), cell.axis_values.begin(),
+                    cell.axis_values.end());
+      for (const auto& r : cell.series)
+        for (const Metric m : kSinkMetrics) values.push_back(metric_value(r, m));
+      for (ResultSink* sink : sinks_) sink->row(header, values);
+    }
+    for (ResultSink* sink : sinks_) sink->end(header);
+  }
+  return result;
+}
+
+}  // namespace abftc::core

@@ -1,0 +1,171 @@
+#include "core/sweep.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace abftc::core {
+
+Axis Axis::values(std::string name, AxisField field,
+                  std::vector<double> values) {
+  Axis a{std::move(name), field, std::move(values), nullptr};
+  a.validate();
+  return a;
+}
+
+Axis Axis::custom(std::string name, std::vector<double> values,
+                  std::function<void(ScenarioParams&, double)> setter) {
+  Axis a{std::move(name), AxisField::Custom, std::move(values),
+         std::move(setter)};
+  a.validate();
+  return a;
+}
+
+std::vector<double> linspace_grid(double lo, double hi, std::size_t count) {
+  ABFTC_REQUIRE(count >= 2, "linspace axis needs at least two points");
+  std::vector<double> grid(count);
+  // Interpolate on the index so both endpoints are exact: i/(count-1) is
+  // exactly 0 at i=0 and exactly 1 at i=count-1.
+  const double n = static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    grid[i] = lo + (hi - lo) * (static_cast<double>(i) / n);
+  grid.front() = lo;
+  grid.back() = hi;
+  return grid;
+}
+
+std::vector<double> logspace_grid(double lo, double hi, std::size_t count) {
+  ABFTC_REQUIRE(lo > 0.0 && hi > 0.0, "logspace endpoints must be positive");
+  ABFTC_REQUIRE(count >= 2, "logspace axis needs at least two points");
+  std::vector<double> grid(count);
+  const double llo = std::log(lo), lhi = std::log(hi);
+  const double n = static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    grid[i] = std::exp(llo + (lhi - llo) * (static_cast<double>(i) / n));
+  grid.front() = lo;
+  grid.back() = hi;
+  return grid;
+}
+
+std::vector<double> step_grid(double lo, double hi, double step) {
+  ABFTC_REQUIRE(step > 0.0, "step axis needs a positive step");
+  ABFTC_REQUIRE(hi >= lo, "step axis needs hi >= lo");
+  // Number of steps that fit, tolerant of representation error in
+  // (hi-lo)/step (e.g. 1.0/0.1 must count as 10, not 9).
+  const auto steps = static_cast<std::size_t>(
+      std::floor((hi - lo) / step * (1.0 + 1e-12) + 1e-9));
+  if (steps == 0) return {lo};
+  // The covered endpoint: hi itself when the range divides evenly.
+  const double top = std::fabs(lo + static_cast<double>(steps) * step - hi) <=
+                             1e-9 * std::max(std::fabs(hi), step)
+                         ? hi
+                         : lo + static_cast<double>(steps) * step;
+  return linspace_grid(lo, top, steps + 1);
+}
+
+Axis Axis::linspace(std::string name, AxisField field, double lo, double hi,
+                    std::size_t count) {
+  return values(std::move(name), field, linspace_grid(lo, hi, count));
+}
+
+Axis Axis::logspace(std::string name, AxisField field, double lo, double hi,
+                    std::size_t count) {
+  return values(std::move(name), field, logspace_grid(lo, hi, count));
+}
+
+Axis Axis::step(std::string name, AxisField field, double lo, double hi,
+                double step) {
+  return values(std::move(name), field, step_grid(lo, hi, step));
+}
+
+void Axis::validate() const {
+  ABFTC_REQUIRE(!name.empty(), "axis needs a name");
+  ABFTC_REQUIRE(!grid.empty(), "axis '" + name + "' has no values");
+  ABFTC_REQUIRE(field != AxisField::Custom || setter != nullptr,
+                "custom axis '" + name + "' needs a setter");
+}
+
+void apply_axis(const Axis& axis, ScenarioParams& s, double value) {
+  switch (axis.field) {
+    case AxisField::Mtbf: s.platform.mtbf = value; return;
+    case AxisField::Downtime: s.platform.downtime = value; return;
+    case AxisField::Nodes:
+      s.platform.nodes = static_cast<std::size_t>(std::llround(value));
+      return;
+    case AxisField::CkptCost:
+      s.ckpt.full_cost = value;
+      s.ckpt.full_recovery = value;
+      return;
+    case AxisField::FullCost: s.ckpt.full_cost = value; return;
+    case AxisField::FullRecovery: s.ckpt.full_recovery = value; return;
+    case AxisField::Rho: s.ckpt.rho = value; return;
+    case AxisField::Phi: s.abft.phi = value; return;
+    case AxisField::Recons: s.abft.recons = value; return;
+    case AxisField::Alpha: s.epoch.alpha = value; return;
+    case AxisField::EpochDuration: s.epoch.duration = value; return;
+    case AxisField::Epochs:
+      s.epochs = static_cast<std::size_t>(std::llround(value));
+      return;
+    case AxisField::Custom:
+      ABFTC_REQUIRE(axis.setter != nullptr,
+                    "custom axis '" + axis.name + "' needs a setter");
+      axis.setter(s, value);
+      return;
+  }
+  ABFTC_CHECK(false, "unknown axis field");
+}
+
+void ScenarioSweep::validate() const {
+  for (const auto& axis : axes) axis.validate();
+  if (combine == Combine::Zip && !axes.empty()) {
+    for (const auto& axis : axes)
+      ABFTC_REQUIRE(axis.size() == axes.front().size(),
+                    "zipped axes must have equal sizes ('" +
+                        axes.front().name + "' has " +
+                        std::to_string(axes.front().size()) + ", '" +
+                        axis.name + "' has " + std::to_string(axis.size()) +
+                        ")");
+  }
+}
+
+std::size_t ScenarioSweep::cells() const {
+  validate();
+  if (axes.empty()) return 1;
+  if (combine == Combine::Zip) return axes.front().size();
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.size();
+  return n;
+}
+
+std::vector<std::size_t> ScenarioSweep::coords(std::size_t cell) const {
+  ABFTC_REQUIRE(cell < cells(), "cell index out of range");
+  std::vector<std::size_t> idx(axes.size());
+  if (combine == Combine::Zip) {
+    for (auto& i : idx) i = cell;
+    return idx;
+  }
+  // Row-major: the last axis varies fastest.
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    idx[a] = cell % axes[a].size();
+    cell /= axes[a].size();
+  }
+  return idx;
+}
+
+std::vector<double> ScenarioSweep::values_at(std::size_t cell) const {
+  const auto idx = coords(cell);
+  std::vector<double> vals(axes.size());
+  for (std::size_t a = 0; a < axes.size(); ++a) vals[a] = axes[a].grid[idx[a]];
+  return vals;
+}
+
+ScenarioParams ScenarioSweep::scenario(std::size_t cell) const {
+  const auto idx = coords(cell);
+  ScenarioParams s = base;
+  for (std::size_t a = 0; a < axes.size(); ++a)
+    apply_axis(axes[a], s, axes[a].grid[idx[a]]);
+  s.validate();
+  return s;
+}
+
+}  // namespace abftc::core

@@ -1,0 +1,113 @@
+#pragma once
+/// \file sweep.hpp
+/// Declarative parameter sweeps over ScenarioParams.
+///
+/// Every figure and ablation of the paper is "evaluate protocols over a
+/// parameter grid". A ScenarioSweep names the grid once — a base scenario
+/// plus one Axis per swept parameter — and the experiment engine
+/// (experiment.hpp) enumerates it. Axes are *index-based*: cell i of an
+/// axis holds an exact value computed from the endpoints, never an
+/// accumulated `a += step` (which drifts: ten additions of 0.1 do not reach
+/// 1.0 in binary floating point). The last cell of a linspace/step axis is
+/// the upper endpoint exactly.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace abftc::core {
+
+/// ScenarioParams fields an Axis can bind to by name. `Custom` axes carry
+/// their own setter and can rewrite the whole scenario (e.g. weak-scaling
+/// node sweeps that re-derive every parameter from the node count).
+enum class AxisField {
+  Mtbf,          ///< platform.mtbf (seconds)
+  Downtime,      ///< platform.downtime (seconds)
+  Nodes,         ///< platform.nodes
+  CkptCost,      ///< ckpt.full_cost AND ckpt.full_recovery (the paper's C = R)
+  FullCost,      ///< ckpt.full_cost only
+  FullRecovery,  ///< ckpt.full_recovery only
+  Rho,           ///< ckpt.rho
+  Phi,           ///< abft.phi
+  Recons,        ///< abft.recons
+  Alpha,         ///< epoch.alpha
+  EpochDuration, ///< epoch.duration (seconds)
+  Epochs,        ///< epochs (rounded to nearest integer)
+  Custom,        ///< user setter
+};
+
+/// One named sweep dimension: a label, a field binding and the exact grid
+/// values, in index order.
+struct Axis {
+  std::string name;
+  AxisField field = AxisField::Custom;
+  std::vector<double> grid;
+  /// Required iff field == Custom; may replace the whole scenario.
+  std::function<void(ScenarioParams&, double)> setter;
+
+  [[nodiscard]] std::size_t size() const noexcept { return grid.size(); }
+
+  /// Explicit value list (kept verbatim).
+  [[nodiscard]] static Axis values(std::string name, AxisField field,
+                                   std::vector<double> values);
+  /// Explicit value list with a custom setter.
+  [[nodiscard]] static Axis custom(std::string name,
+                                   std::vector<double> values,
+                                   std::function<void(ScenarioParams&, double)>
+                                       setter);
+  /// `count` points from lo to hi inclusive; both endpoints exact.
+  [[nodiscard]] static Axis linspace(std::string name, AxisField field,
+                                     double lo, double hi, std::size_t count);
+  /// `count` log-spaced points from lo to hi inclusive (lo, hi > 0);
+  /// both endpoints exact.
+  [[nodiscard]] static Axis logspace(std::string name, AxisField field,
+                                     double lo, double hi, std::size_t count);
+  /// lo, lo+step, ... up to hi (inclusive when (hi-lo)/step is integral,
+  /// within half a step of rounding). Index-based: the replacement for the
+  /// drift-prone `for (v = lo; v <= hi + 1e-9; v += step)` bench loops.
+  [[nodiscard]] static Axis step(std::string name, AxisField field, double lo,
+                                 double hi, double step);
+
+  void validate() const;
+};
+
+/// Apply one axis value to a scenario.
+void apply_axis(const Axis& axis, ScenarioParams& s, double value);
+
+/// Exact index-based grid generators (the value vectors behind the Axis
+/// factories, usable directly for custom axes).
+[[nodiscard]] std::vector<double> linspace_grid(double lo, double hi,
+                                                std::size_t count);
+[[nodiscard]] std::vector<double> logspace_grid(double lo, double hi,
+                                                std::size_t count);
+[[nodiscard]] std::vector<double> step_grid(double lo, double hi, double step);
+
+/// How multiple axes combine into grid cells.
+enum class Combine {
+  Cartesian,  ///< all index tuples; last axis fastest (row-major)
+  Zip,        ///< axes advance together; all must have equal size
+};
+
+/// A declarative scenario grid: base scenario + axes + combination rule.
+struct ScenarioSweep {
+  ScenarioParams base;
+  std::vector<Axis> axes;
+  Combine combine = Combine::Cartesian;
+
+  /// Number of grid cells (product of axis sizes, or the common size when
+  /// zipped; 1 when there are no axes — the base scenario alone).
+  [[nodiscard]] std::size_t cells() const;
+  /// Per-axis indices of a cell (row-major for Cartesian).
+  [[nodiscard]] std::vector<std::size_t> coords(std::size_t cell) const;
+  /// Per-axis values of a cell.
+  [[nodiscard]] std::vector<double> values_at(std::size_t cell) const;
+  /// Base scenario with every axis value of the cell applied, validated.
+  [[nodiscard]] ScenarioParams scenario(std::size_t cell) const;
+
+  void validate() const;
+};
+
+}  // namespace abftc::core

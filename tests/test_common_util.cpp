@@ -108,6 +108,53 @@ TEST(Cli, RejectsMalformedNumbers) {
   EXPECT_THROW((void)args.get_int("x", 0), precondition_error);
 }
 
+TEST(Cli, ParsesListValues) {
+  const char* argv[] = {"prog", "--alpha=0.0,0.45,0.8", "--name=a,b",
+                        "--solo=1.5", nullptr};
+  ArgParser args(4, argv);
+  const auto alphas = args.get_double_list("alpha", {});
+  ASSERT_EQ(alphas.size(), 3u);
+  EXPECT_DOUBLE_EQ(alphas[0], 0.0);
+  EXPECT_DOUBLE_EQ(alphas[1], 0.45);
+  EXPECT_DOUBLE_EQ(alphas[2], 0.8);
+  EXPECT_EQ(args.get_list("name", {}),
+            (std::vector<std::string>{"a", "b"}));
+  // A single value (no comma) is a one-element list.
+  const auto solo = args.get_double_list("solo", {});
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_DOUBLE_EQ(solo[0], 1.5);
+  // Absent flag -> default.
+  const auto def = args.get_double_list("absent", {1.0, 2.0});
+  ASSERT_EQ(def.size(), 2u);
+  EXPECT_DOUBLE_EQ(def[1], 2.0);
+}
+
+TEST(Cli, RejectsMalformedLists) {
+  const char* argv[] = {"prog", "--a=1,,2", "--b=1,x", "--c=", nullptr};
+  ArgParser args(4, argv);
+  EXPECT_THROW((void)args.get_list("a"), precondition_error);
+  EXPECT_THROW((void)args.get_double_list("b"), precondition_error);
+  EXPECT_THROW((void)args.get_list("c"), precondition_error);
+}
+
+TEST(Cli, WarnsOnUnknownFlags) {
+  const char* argv[] = {"prog", "--reps=3", "--typo-flag=1", "--other",
+                        nullptr};
+  ArgParser args(4, argv);
+  EXPECT_EQ(args.get_int("reps", 0), 3);
+  const auto unknown = args.unknown();
+  ASSERT_EQ(unknown.size(), 2u);  // typo-flag and other were never read
+  EXPECT_EQ(unknown[0], "other");
+  EXPECT_EQ(unknown[1], "typo-flag");
+  std::ostringstream os;
+  EXPECT_EQ(args.warn_unknown(os), 2u);
+  EXPECT_NE(os.str().find("warning: unknown flag --typo-flag (ignored)"),
+            std::string::npos);
+  // Reading a flag (even via has()) marks it known.
+  EXPECT_TRUE(args.has("other"));
+  EXPECT_EQ(args.unknown(), std::vector<std::string>{"typo-flag"});
+}
+
 TEST(ParallelFor, ComputesAllIndices) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for(257, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);

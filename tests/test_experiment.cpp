@@ -1,0 +1,311 @@
+// Tests for the unified experiment engine: sweep grids (cardinality, exact
+// endpoints), the evaluator registry, result sinks, thread-count invariance
+// of the streamed output, and model-vs-sim agreement on the paper's
+// Figure 7 operating point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/time_units.hpp"
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace abftc;
+using core::Axis;
+using core::AxisField;
+using core::Combine;
+using core::Metric;
+using core::ScenarioSweep;
+
+// ---- Sweep grids -----------------------------------------------------------
+
+TEST(Sweep, CartesianCardinalityAndOrder) {
+  ScenarioSweep sweep;
+  sweep.base = core::figure7_scenario(common::minutes(120), 0.5);
+  sweep.axes = {Axis::values("alpha", AxisField::Alpha, {0.0, 0.5, 1.0}),
+                Axis::values("rho", AxisField::Rho, {0.1, 0.9})};
+  EXPECT_EQ(sweep.cells(), 6u);
+
+  // Row-major: the last axis varies fastest.
+  EXPECT_EQ(sweep.coords(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(sweep.coords(1), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(sweep.coords(2), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(sweep.coords(5), (std::vector<std::size_t>{2, 1}));
+
+  const auto s = sweep.scenario(3);  // alpha index 1, rho index 1
+  EXPECT_DOUBLE_EQ(s.epoch.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(s.ckpt.rho, 0.9);
+}
+
+TEST(Sweep, ZipCardinalityAndMismatchRejection) {
+  ScenarioSweep sweep;
+  sweep.base = core::figure7_scenario(common::minutes(120), 0.5);
+  sweep.combine = Combine::Zip;
+  sweep.axes = {Axis::values("alpha", AxisField::Alpha, {0.2, 0.8}),
+                Axis::values("rho", AxisField::Rho, {0.5, 0.9})};
+  EXPECT_EQ(sweep.cells(), 2u);
+  const auto s1 = sweep.scenario(1);
+  EXPECT_DOUBLE_EQ(s1.epoch.alpha, 0.8);
+  EXPECT_DOUBLE_EQ(s1.ckpt.rho, 0.9);
+
+  sweep.axes[1] = Axis::values("rho", AxisField::Rho, {0.5, 0.7, 0.9});
+  EXPECT_THROW((void)sweep.cells(), common::precondition_error);
+}
+
+TEST(Sweep, NoAxesMeansSingleBaseCell) {
+  ScenarioSweep sweep;
+  sweep.base = core::figure7_scenario(common::minutes(120), 0.5);
+  EXPECT_EQ(sweep.cells(), 1u);
+  EXPECT_DOUBLE_EQ(sweep.scenario(0).epoch.alpha, 0.5);
+}
+
+TEST(Sweep, StepAxisHitsEndpointsExactly) {
+  // The drift-prone bench loop `for (a = 0; a <= 1 + 1e-9; a += 0.1)` ends
+  // at 0.9999999999999999; the index-based axis must end at 1.0 exactly.
+  const auto axis = Axis::step("alpha", AxisField::Alpha, 0.0, 1.0, 0.1);
+  ASSERT_EQ(axis.size(), 11u);
+  EXPECT_EQ(axis.grid.front(), 0.0);
+  EXPECT_EQ(axis.grid.back(), 1.0);
+  EXPECT_EQ(axis.grid[5], 0.5);
+
+  const auto mtbf = Axis::step("mtbf", AxisField::Mtbf, 60.0, 240.0, 20.0);
+  ASSERT_EQ(mtbf.size(), 10u);
+  EXPECT_EQ(mtbf.grid.front(), 60.0);
+  EXPECT_EQ(mtbf.grid[1], 80.0);
+  EXPECT_EQ(mtbf.grid.back(), 240.0);
+
+  // Non-dividing step: 60, 150, 240 (cells that fit below hi).
+  const auto coarse = Axis::step("mtbf", AxisField::Mtbf, 60.0, 250.0, 90.0);
+  ASSERT_EQ(coarse.size(), 3u);
+  EXPECT_EQ(coarse.grid.back(), 240.0);
+}
+
+TEST(Sweep, LinspaceAndLogspaceEndpointsExact) {
+  const auto lin = Axis::linspace("phi", AxisField::Phi, 1.0, 1.6, 7);
+  ASSERT_EQ(lin.size(), 7u);
+  EXPECT_EQ(lin.grid.front(), 1.0);
+  EXPECT_EQ(lin.grid.back(), 1.6);
+
+  const auto log = Axis::logspace("nodes", AxisField::Nodes, 1e3, 1e6, 4);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.grid.front(), 1e3);   // exact, not exp(log(1e3))
+  EXPECT_EQ(log.grid.back(), 1e6);
+  EXPECT_NEAR(log.grid[1], 1e4, 1e-8);
+  EXPECT_NEAR(log.grid[2], 1e5, 1e-7);
+}
+
+TEST(Sweep, FieldBindingsApply) {
+  ScenarioSweep sweep;
+  sweep.base = core::figure7_scenario(common::minutes(120), 0.5);
+  sweep.axes = {Axis::values("C", AxisField::CkptCost, {300.0})};
+  const auto s = sweep.scenario(0);
+  EXPECT_DOUBLE_EQ(s.ckpt.full_cost, 300.0);     // C = R moves both
+  EXPECT_DOUBLE_EQ(s.ckpt.full_recovery, 300.0);
+
+  sweep.axes = {Axis::custom("mtbf_min", {90.0},
+                             [](core::ScenarioParams& p, double m) {
+                               p.platform.mtbf = common::minutes(m);
+                             })};
+  EXPECT_DOUBLE_EQ(sweep.scenario(0).platform.mtbf, 5400.0);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(Registry, BuiltinsAndLookupByName) {
+  auto& reg = core::EvaluatorRegistry::instance();
+  ASSERT_NE(reg.find("model"), nullptr);
+  ASSERT_NE(reg.find("sim"), nullptr);
+  EXPECT_EQ(reg.find("model")->name(), "model");
+  EXPECT_EQ(reg.find("no-such-evaluator"), nullptr);
+  EXPECT_THROW((void)reg.at("no-such-evaluator"), common::precondition_error);
+}
+
+class ConstantEvaluator final : public core::Evaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "constant";
+  }
+  [[nodiscard]] core::EvalResult evaluate(
+      core::Protocol, const core::ScenarioParams&,
+      const core::EvalContext&) const override {
+    core::EvalResult r;
+    r.waste = 0.25;
+    r.t_final = 42.0;
+    return r;
+  }
+};
+
+TEST(Registry, CustomEvaluatorPlugsIntoExperiments) {
+  core::EvaluatorRegistry::instance().add(
+      std::make_unique<ConstantEvaluator>());
+  ASSERT_NE(core::EvaluatorRegistry::instance().find("constant"), nullptr);
+
+  core::ExperimentSpec spec;
+  spec.name = "custom";
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), 0.5);
+  spec.sweep.axes = {Axis::values("rho", AxisField::Rho, {0.2, 0.8})};
+  spec.series = {{"c_pure", core::Protocol::PurePeriodicCkpt, "constant",
+                  {}, {}}};
+  const auto result = core::Experiment(std::move(spec)).run();
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.cells[1].series[0].waste, 0.25);
+  EXPECT_DOUBLE_EQ(result.cells[1].series[0].t_final, 42.0);
+}
+
+// ---- Engine + sinks --------------------------------------------------------
+
+core::ExperimentSpec small_fig7_spec(unsigned threads) {
+  core::ExperimentSpec spec;
+  spec.name = "fig7_smoke";
+  spec.threads = threads;
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), 0.0);
+  spec.sweep.axes = {
+      Axis::step("alpha", AxisField::Alpha, 0.0, 1.0, 0.5),
+      Axis::custom("mtbf_min", core::step_grid(60.0, 240.0, 90.0),
+                   [](core::ScenarioParams& s, double m) {
+                     s.platform.mtbf = common::minutes(m);
+                   })};
+  core::MonteCarloOptions mc;
+  mc.replicates = 50;
+  spec.series = core::cross_series(
+      {core::Protocol::PurePeriodicCkpt, core::Protocol::AbftPeriodicCkpt},
+      {"model", "sim"}, {}, mc);
+  return spec;
+}
+
+TEST(Experiment, JsonOutputInvariantUnderThreadCount) {
+  std::string outputs[2];
+  const unsigned thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    std::ostringstream os;
+    core::JsonSink sink(os);
+    core::Experiment experiment(small_fig7_spec(thread_counts[i]));
+    experiment.add_sink(sink);
+    (void)experiment.run();
+    outputs[i] = os.str();
+  }
+  EXPECT_FALSE(outputs[0].empty());
+  EXPECT_EQ(outputs[0], outputs[1]) << "sink rows must be bitwise identical "
+                                       "for any grid thread count";
+  EXPECT_NE(outputs[0].find("\"bench\": \"fig7_smoke\""), std::string::npos);
+  EXPECT_NE(outputs[0].find("\"model_pure.waste\""), std::string::npos);
+}
+
+TEST(Experiment, ResultsInvariantUnderThreadCount) {
+  const auto r1 = core::Experiment(small_fig7_spec(1)).run();
+  const auto r4 = core::Experiment(small_fig7_spec(4)).run();
+  ASSERT_EQ(r1.cells.size(), r4.cells.size());
+  for (std::size_t c = 0; c < r1.cells.size(); ++c)
+    for (std::size_t s = 0; s < r1.cells[c].series.size(); ++s) {
+      // Bitwise equality, not tolerance: replicate streams come from
+      // Rng::split keyed on the replicate index, never on the scheduling.
+      EXPECT_EQ(r1.cells[c].series[s].waste, r4.cells[c].series[s].waste);
+      EXPECT_EQ(r1.cells[c].series[s].t_final, r4.cells[c].series[s].t_final);
+    }
+}
+
+TEST(Experiment, GridAndColumnHelpers) {
+  const auto result = core::Experiment(small_fig7_spec(1)).run();
+  const std::size_t si = result.series_index("model_pure");
+  const auto grid = result.grid(si, Metric::Waste);
+  ASSERT_EQ(grid.size(), 3u);      // alpha axis
+  ASSERT_EQ(grid[0].size(), 3u);   // mtbf axis
+  const auto flat = result.column(si, Metric::Waste);
+  ASSERT_EQ(flat.size(), 9u);
+  EXPECT_EQ(grid[1][2], flat[1 * 3 + 2]);
+  // PurePeriodicCkpt waste is independent of alpha (paper, Fig 7a).
+  EXPECT_DOUBLE_EQ(grid[0][0], grid[2][0]);
+  EXPECT_THROW((void)result.series_index("nope"), common::precondition_error);
+}
+
+TEST(Experiment, TableAndCsvSinksEmitAllRows) {
+  std::ostringstream table_os, csv_os;
+  core::TableSink table(table_os);
+  core::CsvSink csv(csv_os);
+  core::Experiment experiment(small_fig7_spec(1));
+  experiment.add_sink(table).add_sink(csv);
+  (void)experiment.run();
+
+  const std::string t = table_os.str();
+  EXPECT_NE(t.find("alpha"), std::string::npos);
+  EXPECT_NE(t.find("sim_abft.waste"), std::string::npos);
+
+  // CSV: header + one line per grid cell.
+  const std::string c = csv_os.str();
+  std::size_t lines = 0;
+  for (const char ch : c) lines += ch == '\n';
+  EXPECT_EQ(lines, 1u + 9u);
+  EXPECT_EQ(c.rfind("alpha,mtbf_min,model_pure.waste", 0), 0u);
+}
+
+TEST(Experiment, ModelMatchesSimOnFigure7DefaultCell) {
+  // Figure 7 operating point: MTBF = 2 h, alpha = 0.8. The paper reports
+  // |WASTE_simul - WASTE_model| < 0.05 away from the smallest-MTBF column.
+  core::ExperimentSpec spec;
+  spec.name = "parity";
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), 0.8);
+  core::MonteCarloOptions mc;
+  mc.replicates = 300;
+  spec.series = core::cross_series(
+      {core::Protocol::PurePeriodicCkpt, core::Protocol::BiPeriodicCkpt,
+       core::Protocol::AbftPeriodicCkpt},
+      {"model", "sim"}, {}, mc);
+  const auto result = core::Experiment(std::move(spec)).run();
+  ASSERT_EQ(result.cells.size(), 1u);
+  for (const char* key : {"pure", "bi", "abft"}) {
+    const auto& m = result.cells[0].series[result.series_index(
+        std::string("model_") + key)];
+    const auto& s = result.cells[0].series[result.series_index(
+        std::string("sim_") + key)];
+    ASSERT_TRUE(m.valid);
+    ASSERT_TRUE(s.valid);
+    EXPECT_NEAR(m.waste, s.waste, 0.05) << key;
+  }
+}
+
+TEST(Experiment, RejectsUnknownEvaluatorAndEmptySeries) {
+  core::ExperimentSpec spec;
+  spec.name = "bad";
+  spec.sweep.base = core::figure7_scenario(common::minutes(120), 0.5);
+  EXPECT_THROW(core::Experiment{spec}, common::precondition_error);
+  spec.series = {{"x", core::Protocol::PurePeriodicCkpt, "bogus", {}, {}}};
+  EXPECT_THROW(core::Experiment{spec}, common::precondition_error);
+}
+
+// ---- JSON writer -----------------------------------------------------------
+
+TEST(JsonWriter, EscapesAndRoundTrips) {
+  std::ostringstream os;
+  common::JsonWriter json(os);
+  json.begin_object();
+  json.kv("name", "a\"b\\c\nd");
+  json.kv("pi", 3.141592653589793);
+  json.kv("neg", -1);
+  json.kv("flag", true);
+  json.key("nan").value(std::nan(""));
+  json.key("list").begin_array().value(1.5).value("x").null().end_array();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  // Shortest round-trip formatting, not %.6g.
+  EXPECT_NE(out.find("3.141592653589793"), std::string::npos);
+  EXPECT_NE(out.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(out.find("\"flag\": true"), std::string::npos);
+}
+
+TEST(JsonWriter, RejectsValueWithoutKeyInObject) {
+  std::ostringstream os;
+  common::JsonWriter json(os);
+  json.begin_object();
+  EXPECT_THROW(json.value(1.0), common::precondition_error);
+  EXPECT_THROW(json.end_array(), common::precondition_error);
+}
+
+}  // namespace
