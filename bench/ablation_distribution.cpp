@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       args.get_double_list("mtbf-min", {60.0, 120.0, 240.0});
   const auto json_sink =
       core::json_sink_from_args(args, "ablation_distribution");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Ablation: failure-distribution sensitivity (alpha = "
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
                                  std::string(core::protocol_key(p)),
                              p, "sim", {}, mc});
   }
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       args.get_double_list("rho", {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0});
   const auto json_sink =
       core::json_sink_from_args(args, "ablation_incremental");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Ablation: incremental checkpointing benefit vs rho "
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
       {"model_abft", core::Protocol::AbftPeriodicCkpt, "model", {}, {}},
       {"sim_bi", core::Protocol::BiPeriodicCkpt, "sim", {}, mc},
   };
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);

@@ -32,7 +32,8 @@ struct Sweep {
 };
 
 void run_sweep(const Sweep& sweep, const core::ScenarioParams& base,
-               std::size_t reps, const std::string& json_path) {
+               std::size_t reps, const std::string& json_path,
+               unsigned threads) {
   core::MonteCarloOptions mc;
   mc.replicates = reps;
 
@@ -42,6 +43,7 @@ void run_sweep(const Sweep& sweep, const core::ScenarioParams& base,
   spec.sweep.axes = {core::Axis::custom(sweep.key, sweep.values, sweep.apply)};
   spec.series =
       core::cross_series(core::all_protocols(), {"model", "sim"}, {}, mc);
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   std::optional<core::JsonSink> json_sink;
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
     json_path = args.get_string("json", "");
     if (json_path.empty()) json_path = "BENCH_ablation_parameters.json";
   }
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Per-parameter sensitivity study around the Figure 7 "
@@ -110,37 +113,37 @@ int main(int argc, char** argv) {
                s.ckpt.full_recovery = v;
              },
              mins},
-            base, reps, json_path);
+            base, reps, json_path, threads);
 
   run_sweep({"R only (C fixed)", "recovery",
              {common::minutes(2), common::minutes(10), common::minutes(30)},
              [](core::ScenarioParams& s, double v) { s.ckpt.full_recovery = v; },
              mins},
-            base, reps, json_path);
+            base, reps, json_path, threads);
 
   run_sweep({"D downtime", "downtime",
              {0.0, common::minutes(1), common::minutes(5), common::minutes(15)},
              [](core::ScenarioParams& s, double v) { s.platform.downtime = v; },
              mins},
-            base, reps, json_path);
+            base, reps, json_path, threads);
 
   run_sweep({"rho (library memory share)", "rho",
              {0.1, 0.4, 0.8, 1.0},
              [](core::ScenarioParams& s, double v) { s.ckpt.rho = v; },
              plain},
-            base, reps, json_path);
+            base, reps, json_path, threads);
 
   run_sweep({"phi (ABFT slowdown)", "phi",
              {1.0, 1.03, 1.1, 1.3, 1.6},
              [](core::ScenarioParams& s, double v) { s.abft.phi = v; },
              plain},
-            base, reps, json_path);
+            base, reps, json_path, threads);
 
   run_sweep({"Recons_ABFT", "recons",
              {0.0, 2.0, 60.0, common::minutes(10), common::minutes(30)},
              [](core::ScenarioParams& s, double v) { s.abft.recons = v; },
              mins},
-            base, reps, json_path);
+            base, reps, json_path, threads);
 
   std::cout
       << "Reading: C drives both periodic protocols quadratically (via "

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       "mtbf-min", {25.0, 40.0, 60.0, 120.0, 240.0, 1440.0});
   const auto json_sink =
       core::json_sink_from_args(args, "ablation_period_choice");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Period-selection ablation: Young/Daly (Eq. 11) vs exact "
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
        {.exact_period = true}, {}},
       {"sim_yd", core::Protocol::PurePeriodicCkpt, "sim", {}, mc},
   };
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);

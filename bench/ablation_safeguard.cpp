@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       "tl-min", {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 360.0, 1440.0});
   const auto json_sink =
       core::json_sink_from_args(args, "ablation_safeguard");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   // One day of work split into epochs whose library share has a fixed
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
       {"model_bi", core::Protocol::BiPeriodicCkpt, "model", {}, {}},
       {"model_pure", core::Protocol::PurePeriodicCkpt, "model", {}, {}},
   };
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);

@@ -3,11 +3,13 @@
 /// blocked GEMM (and the blocked path at several thread counts) and emits
 /// BENCH_kernels.json — the perf-trajectory artifact CI tracks across PRs.
 ///
-///   bench_kernels_json [sizes…] --reps=3 --out=BENCH_kernels.json
+///   bench_kernels_json [sizes…] --reps=3 --threads=0 --out=BENCH_kernels.json
 ///
 /// Sizes default to 256 and 512. Each (size, path, threads) cell reports the
 /// best of `reps` runs plus the max-abs deviation of the blocked result from
-/// the naive one.
+/// the naive one. `--threads` caps the swept thread counts (0 = up to the
+/// hardware concurrency); the artifact carries the active KernelPolicy
+/// (path, requested and resolved worker count, dispatch) as metadata.
 
 #include <chrono>
 #include <fstream>
@@ -19,8 +21,8 @@
 #include "abft/blas.hpp"
 #include "abft/kernels.hpp"
 #include "common/cli.hpp"
+#include "common/executor.hpp"
 #include "common/json.hpp"
-#include "common/thread_pool.hpp"
 
 using namespace abftc;
 using abft::Matrix;
@@ -55,6 +57,8 @@ int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const int reps = static_cast<int>(args.get_int("reps", 3));
   const std::string out_path = args.get_string("out", "BENCH_kernels.json");
+  const unsigned max_threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
   args.warn_unknown(std::cerr);
 
   std::vector<std::size_t> sizes;
@@ -81,8 +85,9 @@ int main(int argc, char** argv) {
   if (sizes.empty()) sizes = {256, 512};
 
   const unsigned hw = common::effective_threads(0);
+  const unsigned sweep_cap = max_threads == 0 ? hw : max_threads;
   std::vector<unsigned> thread_counts{1};
-  for (unsigned t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
+  for (unsigned t = 2; t <= sweep_cap; t *= 2) thread_counts.push_back(t);
 
   std::vector<Cell> cells;
   for (const std::size_t n : sizes) {
@@ -118,10 +123,19 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot open '" << out_path << "' for writing\n";
     return 2;
   }
+  const abft::KernelPolicy& policy = abft::kernel_policy();
   common::JsonWriter json(out);
   json.begin_object();
   json.kv("bench", "abft_kernels_gemm");
   json.kv("hardware_threads", hw);
+  json.key("policy").begin_object();
+  json.kv("path", policy.path == abft::KernelPath::blocked ? "blocked"
+                                                           : "naive");
+  json.kv("threads", policy.threads);
+  json.kv("resolved_threads", abft::resolved_threads(policy));
+  json.kv("dispatch",
+          policy.dispatch == common::Dispatch::Pool ? "pool" : "spawn");
+  json.end_object();
   json.key("results").begin_array();
   for (const Cell& c : cells) {
     json.begin_object();

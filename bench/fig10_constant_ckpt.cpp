@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     json_sink = std::make_unique<core::JsonSink>(path);
     json_sink_c6 = std::make_unique<core::JsonSink>(c6_path);
   }
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Figure 10 — weak scaling, variable alpha, constant "
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
       })};
   spec.series = core::cross_series(core::all_protocols(), {"model"},
                                    kNoSafeguard);
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
       })};
   fast_spec.series = {{"model_pure_c6", core::Protocol::PurePeriodicCkpt,
                        "model", kNoSafeguard, {}}};
+  fast_spec.threads = threads;
   core::Experiment experiment_c6(std::move(fast_spec));
   if (json_sink_c6) experiment_c6.add_sink(*json_sink_c6);
   const auto result_c6 = experiment_c6.run();

@@ -30,8 +30,7 @@ int main(int argc, char** argv) {
   const double mtbf_step = args.get_double("mtbf-step", 20.0);
   const double alpha_step = args.get_double("alpha-step", 0.1);
   const bool csv = args.get_bool("csv", false);
-  const unsigned threads =
-      static_cast<unsigned>(args.get_int("threads", 0));
+  const unsigned threads = core::threads_from_args(args);
   const auto json_sink = core::json_sink_from_args(args, "fig7");
   args.warn_unknown(std::cerr);
 

@@ -12,7 +12,8 @@
 /// pass --literal to print the literal-text configuration and watch every
 /// protocol diverge beyond ~300k nodes.
 ///
-/// Flags: --sim --reps=100 --json[=PATH]
+/// Flags: --sim --reps=100 --json[=PATH] --threads=0 (grid-cell
+///        parallelism; 0 = hardware concurrency)
 
 #include <iostream>
 
@@ -32,7 +33,8 @@ namespace {
 
 core::ExperimentSpec make_spec(std::string name,
                                const core::WeakScalingConfig& cfg,
-                               bool with_sim, std::size_t reps) {
+                               bool with_sim, std::size_t reps,
+                               unsigned threads) {
   core::ExperimentSpec spec;
   spec.name = std::move(name);
   spec.sweep.axes = {core::Axis::custom(
@@ -46,12 +48,14 @@ core::ExperimentSpec make_spec(std::string name,
   mc.replicates = reps > 0 ? reps : 1;
   spec.series =
       core::cross_series(core::all_protocols(), evaluators, kNoSafeguard, mc);
+  spec.threads = threads;
   return spec;
 }
 
 void run_sweep(const std::string& name, const core::WeakScalingConfig& cfg,
-               bool with_sim, std::size_t reps, core::ResultSink* sink) {
-  core::Experiment experiment(make_spec(name, cfg, with_sim, reps));
+               bool with_sim, std::size_t reps, core::ResultSink* sink,
+               unsigned threads) {
+  core::Experiment experiment(make_spec(name, cfg, with_sim, reps, threads));
   if (sink) experiment.add_sink(*sink);
   const auto result = experiment.run();
 
@@ -103,11 +107,13 @@ int main(int argc, char** argv) {
   const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 100));
   const bool literal = args.get_bool("literal", false);
   const auto json_sink = core::json_sink_from_args(args, "fig8");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Figure 8 — weak scaling, fixed alpha = 0.8 "
                "(1000 epochs, both phases O(n^3))\n\n";
-  run_sweep("fig8", core::figure8_config(), with_sim, reps, json_sink.get());
+  run_sweep("fig8", core::figure8_config(), with_sim, reps, json_sink.get(),
+            threads);
 
   std::cout << "\nShape checks (paper, Section V-C):\n"
                "  * below ~100k nodes the ABFT fault-free overhead makes the "
@@ -124,7 +130,7 @@ int main(int argc, char** argv) {
                  "# every protocol hits waste = 1 once µ < C + R + D — the "
                  "published curves cannot come from these numbers.\n\n";
     run_sweep("fig8_literal", core::figure8_literal_config(), false, 0,
-              nullptr);
+              nullptr, threads);
   }
   return 0;
 }

@@ -24,6 +24,7 @@ static constexpr core::ModelOptions kNoSafeguard{.safeguard = false};
 int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const auto json_sink = core::json_sink_from_args(args, "fig9");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::cout << "# Figure 9 — weak scaling, variable alpha "
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
       })};
   spec.series = core::cross_series(core::all_protocols(), {"model"},
                                    kNoSafeguard);
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);

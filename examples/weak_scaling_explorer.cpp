@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   const double hi = args.get_double("max-nodes", 1e6);
   const int ppd = static_cast<int>(args.get_int("ppd", 4));
   const auto json_sink = core::json_sink_from_args(args, "weak_scaling");
+  const unsigned threads = core::threads_from_args(args);
   args.warn_unknown(std::cerr);
 
   std::vector<double> nodes_grid;
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
         s = core::scenario_at(cfg, nodes);
       })};
   spec.series = core::cross_series(core::all_protocols(), {"model"}, opt);
+  spec.threads = threads;
 
   core::Experiment experiment(std::move(spec));
   if (json_sink) experiment.add_sink(*json_sink);

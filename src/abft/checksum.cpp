@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "abft/kernels.hpp"
-#include "common/thread_pool.hpp"
+#include "common/executor.hpp"
 
 namespace abftc::abft {
 
@@ -24,6 +24,10 @@ void check_blocking(const Matrix& a, std::size_t nb) {
 unsigned checksum_threads() noexcept {
   const KernelPolicy& pol = kernel_policy();
   return pol.path == KernelPath::blocked ? pol.threads : 1;
+}
+
+common::Dispatch checksum_dispatch() noexcept {
+  return kernel_policy().dispatch;
 }
 
 }  // namespace
@@ -61,7 +65,7 @@ Matrix row_group_checksums(const Matrix& a, std::size_t nb,
           for (std::size_t j = 0; j < a.cols(); ++j)
             cs(gr, j) += a(bi * nb + r, j);
       },
-      checksum_threads());
+      checksum_threads(), checksum_dispatch());
   return cs;
 }
 
@@ -81,7 +85,7 @@ Matrix col_group_checksums(const Matrix& a, std::size_t nb,
             cs(i, g * nb + c) += a(i, bj * nb + c);
         }
       },
-      checksum_threads());
+      checksum_threads(), checksum_dispatch());
   return cs;
 }
 

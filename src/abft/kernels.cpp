@@ -7,7 +7,7 @@
 #include <immintrin.h>
 #endif
 
-#include "common/thread_pool.hpp"
+#include "common/executor.hpp"
 
 namespace abftc::abft {
 
@@ -300,6 +300,10 @@ const KernelPolicy& kernel_policy() noexcept { return g_policy; }
 
 void set_kernel_policy(KernelPolicy p) noexcept { g_policy = p; }
 
+unsigned resolved_threads(const KernelPolicy& p) noexcept {
+  return common::effective_threads(p.threads);
+}
+
 bool gemm_uses_blocked_path(std::size_t m, std::size_t n,
                             std::size_t k) noexcept {
   return g_policy.path == KernelPath::blocked &&
@@ -346,7 +350,8 @@ void naive_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
 }
 
 void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
-                  Trans tb, double beta, MatrixView c, unsigned threads) {
+                  Trans tb, double beta, MatrixView c, unsigned threads,
+                  common::Dispatch dispatch) {
   const auto [m, n, k] = gemm_shape(a, ta, b, tb, c);
 
   // β-scale first, like the reference path. β == 1 (every trailing-update
@@ -386,7 +391,7 @@ void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
               }
             }
           },
-          threads);
+          threads, dispatch);
     }
   }
 }

@@ -21,6 +21,7 @@
 /// order.
 
 #include "abft/matrix.hpp"
+#include "common/dispatch.hpp"
 
 namespace abftc::abft {
 
@@ -32,7 +33,15 @@ struct KernelPolicy {
   KernelPath path = KernelPath::blocked;
   /// Worker threads for the blocked path; 0 = hardware concurrency.
   unsigned threads = 0;
+  /// How parallel kernels reach their workers: the persistent executor
+  /// (default) or legacy spawn-per-call threads (benches A/B the two;
+  /// results are bitwise identical either way).
+  common::Dispatch dispatch = common::Dispatch::Pool;
 };
+
+/// The worker count `p.threads` resolves to (cached hardware concurrency
+/// for 0) — what benches report as the policy's resolved thread count.
+[[nodiscard]] unsigned resolved_threads(const KernelPolicy& p) noexcept;
 
 /// The process-global policy consulted by every dispatching kernel.
 /// Mutating it while kernels run on other threads is undefined.
@@ -57,7 +66,8 @@ class KernelPolicyGuard {
 /// bypasses the global policy (used by benches and equivalence tests).
 /// `threads == 0` means hardware concurrency.
 void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
-                  Trans tb, double beta, MatrixView c, unsigned threads = 0);
+                  Trans tb, double beta, MatrixView c, unsigned threads = 0,
+                  common::Dispatch dispatch = common::Dispatch::Pool);
 
 /// The original reference triple loop, explicitly.
 void naive_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,

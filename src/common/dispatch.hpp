@@ -1,0 +1,14 @@
+#pragma once
+/// \file dispatch.hpp
+/// How a parallel loop reaches its workers — split out of executor.hpp so
+/// policy structs (abft::KernelPolicy) can name the enum without pulling the
+/// full executor (and its <future>/<functional> baggage) into hot headers.
+
+namespace abftc::common {
+
+/// `Pool` (the default) runs on the persistent executor; `Spawn` creates and
+/// joins fresh threads per call — kept for dispatch-latency A/B benches and
+/// as a determinism cross-check (results are bitwise identical either way).
+enum class Dispatch { Pool, Spawn };
+
+}  // namespace abftc::common

@@ -1,54 +1,9 @@
 #pragma once
 /// \file thread_pool.hpp
-/// A small work-sharing pool for embarrassingly parallel loops
-/// (Monte-Carlo replicates, block-parallel BLAS). Results stay
-/// deterministic because work items own their random streams.
-///
-/// `parallel_for` is a template dispatching through a raw function pointer +
-/// context pointer rather than std::function: no type-erasure allocation,
-/// and exactly one indirect call per index, so the per-chunk overhead stays
-/// negligible even for small Monte-Carlo chunks.
+/// Compatibility shim: the spawn-per-call pool grew into the persistent
+/// process-lifetime executor in executor.hpp, which keeps the same
+/// `common::parallel_for` entry point (plus an opt-in Dispatch::Spawn mode
+/// that reproduces the old behaviour for benches). Include executor.hpp in
+/// new code; this header stays so existing includes keep compiling.
 
-#include <cstddef>
-#include <memory>
-#include <type_traits>
-
-namespace abftc::common {
-
-namespace detail {
-
-using RawLoopFn = void (*)(void* ctx, std::size_t i);
-
-/// Out-of-line scheduler: workers self-schedule contiguous index ranges off
-/// a shared atomic cursor. Exceptions thrown by `fn` are captured and the
-/// first one rethrown on the calling thread after the loop drains.
-void parallel_for_impl(std::size_t n, RawLoopFn fn, void* ctx,
-                       unsigned threads);
-
-}  // namespace detail
-
-/// Run `fn(i)` for i in [0, n) across up to `threads` workers.
-/// `threads == 0` means std::thread::hardware_concurrency().
-/// Exceptions thrown by `fn` are captured and the first one rethrown
-/// on the calling thread after the loop drains.
-template <typename Fn>
-void parallel_for(std::size_t n, Fn&& fn, unsigned threads = 0) {
-  using F = std::remove_reference_t<Fn>;
-  if constexpr (std::is_function_v<F>) {
-    // Plain functions can't round-trip through void*; wrap in a lambda.
-    auto wrapper = [fp = &fn](std::size_t i) { fp(i); };
-    parallel_for(n, wrapper, threads);
-  } else {
-    detail::parallel_for_impl(
-        n,
-        [](void* ctx, std::size_t i) { (*static_cast<F*>(ctx))(i); },
-        const_cast<void*>(
-            static_cast<const void*>(std::addressof(fn))),
-        threads);
-  }
-}
-
-/// The number of workers parallel_for would actually use for `threads`.
-[[nodiscard]] unsigned effective_threads(unsigned threads) noexcept;
-
-}  // namespace abftc::common
+#include "common/executor.hpp"

@@ -8,9 +8,9 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 
 namespace abftc::core {
 
@@ -279,6 +279,8 @@ void JsonSink::begin(const SinkHeader& header) {
   json_ = std::make_unique<common::JsonWriter>(*os_);
   json_->begin_object();
   json_->kv("bench", header.experiment);
+  if (header.resolved_threads > 0)
+    json_->kv("threads", header.resolved_threads);
   json_->key("axes").begin_array();
   for (std::size_t c = 0; c < header.axis_count; ++c)
     json_->value(header.columns[c]);
@@ -312,6 +314,10 @@ std::unique_ptr<JsonSink> json_sink_from_args(const common::ArgParser& args,
   return std::make_unique<JsonSink>(path);
 }
 
+unsigned threads_from_args(const common::ArgParser& args) {
+  return static_cast<unsigned>(args.get_int("threads", 0));
+}
+
 // ---- Engine ----------------------------------------------------------------
 
 Experiment::Experiment(ExperimentSpec spec) : spec_(std::move(spec)) {
@@ -327,6 +333,8 @@ SinkHeader Experiment::header_for(const ExperimentSpec& spec) {
   SinkHeader h;
   h.experiment = spec.name;
   h.axis_count = spec.sweep.axes.size();
+  if (spec.emit_thread_meta)
+    h.resolved_threads = common::effective_threads(spec.threads);
   for (const auto& axis : spec.sweep.axes) h.columns.push_back(axis.name);
   for (const auto& s : spec.series)
     for (const Metric m : kSinkMetrics)
@@ -347,7 +355,11 @@ ExperimentResult Experiment::run() const {
   // Split the thread budget between the two parallel dimensions: the grid
   // gets the workers, and when there are fewer cells than workers each
   // cell's evaluator may use the leftover for its own replicate loop
-  // (determinism is per-replicate Rng::split, so the split is free).
+  // (determinism is per-replicate Rng::split, so the split is free). On the
+  // parallel grid path the executor's bounded-share arbitration enforces
+  // the same split dynamically — nested evaluator loops borrow only workers
+  // the grid left idle — so the inner budget is an upper bound, never an
+  // oversubscription.
   const unsigned workers = common::effective_threads(spec_.threads);
   const unsigned inner_threads =
       n_cells >= workers ? 1
@@ -355,6 +367,7 @@ ExperimentResult Experiment::run() const {
 
   ExperimentResult result;
   result.name = spec_.name;
+  result.resolved_threads = workers;
   result.sweep = spec_.sweep;
   for (const auto& s : spec_.series) result.series_labels.push_back(s.label);
   result.cells.resize(n_cells);

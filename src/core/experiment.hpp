@@ -137,6 +137,10 @@ struct ExperimentSpec {
   ScenarioSweep sweep;
   std::vector<Series> series;
   unsigned threads = 0;  ///< grid-cell parallelism; 0 = hardware concurrency
+  /// Emit the resolved worker count as a "threads" key in JSON sink
+  /// metadata. Off by default so BENCH_*.json artifacts stay byte-identical
+  /// across worker counts (and to their pre-executor shape).
+  bool emit_thread_meta = false;
 
   void validate() const;
 };
@@ -155,6 +159,9 @@ struct ExperimentResult {
   ScenarioSweep sweep;
   std::vector<std::string> series_labels;
   std::vector<CellRecord> cells;
+  /// Grid workers `spec.threads` resolved to (cached hardware concurrency
+  /// for 0). Metadata only — cells are identical for any worker count.
+  unsigned resolved_threads = 0;
 
   [[nodiscard]] std::size_t series_index(std::string_view label) const;
   /// Metric of one series across all cells, in grid order.
@@ -171,6 +178,9 @@ struct SinkHeader {
   std::string experiment;
   std::vector<std::string> columns;
   std::size_t axis_count = 0;
+  /// Resolved grid worker count; 0 = omit from sink metadata (the default:
+  /// set only when ExperimentSpec::emit_thread_meta is on).
+  unsigned resolved_threads = 0;
 };
 
 /// The metrics every sink row carries per series.
@@ -245,6 +255,11 @@ class JsonSink : public ResultSink {
 /// the flag is bare). Reads the flag, so call before ArgParser::unknown().
 [[nodiscard]] std::unique_ptr<JsonSink> json_sink_from_args(
     const common::ArgParser& args, std::string_view bench_name);
+
+/// Shared driver idiom for the `--threads=N` flag: grid-cell parallelism
+/// for ExperimentSpec::threads. 0 (the default) = hardware concurrency.
+/// Reads the flag, so call before ArgParser::unknown()/warn_unknown().
+[[nodiscard]] unsigned threads_from_args(const common::ArgParser& args);
 
 /// Run a declarative experiment: every sweep cell × every series, in
 /// parallel over cells, then stream rows to the attached sinks.

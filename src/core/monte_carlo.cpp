@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
+#include "common/executor.hpp"
 #include "sim/failures.hpp"
 
 namespace abftc::core {

@@ -7,8 +7,8 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 #include "common/time_units.hpp"
 
 namespace {
@@ -195,19 +195,40 @@ TEST(ParallelFor, AcceptsPlainFunctions) {
   EXPECT_EQ(g_free_fn_hits.load(), 64);
 }
 
-TEST(ParallelFor, AttemptsEveryIndexDespiteException) {
-  for (const unsigned threads : {1u, 4u}) {
-    std::atomic<int> hits{0};
+// Contract since the persistent executor: the first exception stops the
+// loop — remaining chunks are abandoned, not attempted. Serially that means
+// nothing past the throwing index runs; in parallel some in-flight chunks
+// may still finish, but never the full index space.
+TEST(ParallelFor, ShortCircuitsAfterFirstException) {
+  std::atomic<int> hits{0};
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+            hits.fetch_add(1);
+          },
+          1),
+      std::runtime_error);
+  EXPECT_EQ(hits.load(), 37) << "serial: indices past the throw must not run";
+
+  // Index 0 lives in the first chunk claimed, so the stop flag is raised
+  // almost immediately; the index space is far too large for the other
+  // participants to drain it inside that window.
+  constexpr int kBig = 100000;
+  for (const Dispatch dispatch :
+       {Dispatch::Pool, Dispatch::Spawn}) {
+    hits = 0;
     EXPECT_THROW(
         parallel_for(
-            100,
+            kBig,
             [&](std::size_t i) {
-              if (i == 37) throw std::runtime_error("boom");
+              if (i == 0) throw std::runtime_error("boom");
               hits.fetch_add(1);
             },
-            threads),
+            4, dispatch),
         std::runtime_error);
-    EXPECT_EQ(hits.load(), 99) << "threads=" << threads;
+    EXPECT_LT(hits.load(), kBig - 1) << "parallel: loop must short-circuit";
   }
 }
 
