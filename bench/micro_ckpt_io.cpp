@@ -1,0 +1,179 @@
+/// \file micro_ckpt_io.cpp
+/// Checkpoint I/O microbenchmark: commit latency and restore bandwidth per
+/// storage backend (memory / file / mmap) at several image sizes, comparing
+/// the serial copy→CRC→write reference against the CkptWriter pipeline that
+/// overlaps the CRC with backend writes.
+///
+///   micro_ckpt_io --backends=memory,file,mmap --sizes-mb=2,8,32 --reps=4
+///                 --dir=/tmp/abftc_ckpt_io --chunk-kb=1024
+///                 --out=BENCH_ckpt_io.json
+///
+/// Per (backend, size) the artifact reports best-of-reps serial and async
+/// commit times, the speedup `serial_ms / async_ms`, and restore bandwidth;
+/// `best_async_speedup` is the maximum speedup observed (CI gates it — the
+/// pipeline must beat write-then-CRC somewhere — and skips the gate on
+/// single-core runners where there is no second core to hide the CRC on).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "ckpt/io/backend.hpp"
+#include "ckpt/io/writer.hpp"
+#include "common/cli.hpp"
+#include "common/executor.hpp"
+#include "common/json.hpp"
+
+using namespace abftc;
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row {
+  std::string backend;
+  std::size_t bytes = 0;
+  double serial_s = 0.0;
+  double async_s = 0.0;
+  double restore_s = 0.0;
+};
+
+std::string backend_spec(const std::string& kind, const std::string& dir,
+                         std::size_t largest_bytes) {
+  if (kind == "memory") return "memory";
+  if (kind == "file") return "file:" + dir + "/file_store";
+  if (kind == "mmap") {
+    // Arena sized to hold the largest image with table/alignment headroom.
+    const std::size_t mb = std::max<std::size_t>(8, (largest_bytes >> 20) + 4);
+    return "mmap:" + dir + "/arena.ckpt?mb=" + std::to_string(mb);
+  }
+  std::cerr << "error: unknown backend '" << kind
+            << "' (known: memory, file, mmap)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const auto backends =
+      args.get_list("backends", {"memory", "file", "mmap"});
+  const auto sizes_mb = args.get_double_list("sizes-mb", {2, 8, 32});
+  const int reps = static_cast<int>(args.get_int("reps", 4));
+  const std::string dir =
+      args.get_string("dir", (fs::temp_directory_path() / "abftc_ckpt_io")
+                                 .string());
+  const std::size_t chunk_bytes =
+      static_cast<std::size_t>(args.get_int("chunk-kb", 1024)) * 1024;
+  const std::string out_path = args.get_string("out", "BENCH_ckpt_io.json");
+  args.warn_unknown(std::cerr);
+
+  fs::create_directories(dir);
+  std::size_t largest = 0;
+  for (const double mb : sizes_mb)
+    largest = std::max(largest,
+                       static_cast<std::size_t>(mb * 1024.0 * 1024.0));
+
+  // Scratch image data: 70% LIBRARY + 30% REMAINDER, non-trivial bytes so
+  // neither the CRC nor compression-happy filesystems can shortcut.
+  std::vector<std::byte> lib(largest * 7 / 10), rem(largest - lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i)
+    lib[i] = static_cast<std::byte>((i * 2654435761u) >> 13);
+  for (std::size_t i = 0; i < rem.size(); ++i)
+    rem[i] = static_cast<std::byte>((i * 40503u) >> 7);
+
+  std::vector<Row> rows;
+  double best_speedup = 0.0;
+  for (const std::string& kind : backends) {
+    auto backend = ckpt::io::make_backend(backend_spec(kind, dir, largest));
+    double when = 1.0;
+    for (const double mb : sizes_mb) {
+      const auto bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+      Row row;
+      row.backend = kind;
+      row.bytes = bytes;
+      row.serial_s = std::numeric_limits<double>::infinity();
+      row.async_s = std::numeric_limits<double>::infinity();
+      row.restore_s = std::numeric_limits<double>::infinity();
+
+      for (const bool async : {false, true}) {
+        ckpt::io::WriterOptions opts;
+        opts.chunk_bytes = chunk_bytes;
+        opts.async = async;
+        ckpt::io::CkptWriter writer(*backend, opts);
+        for (int rep = 0; rep < reps; ++rep) {
+          ckpt::MemoryImage image;
+          image.add_region("lib", std::span(lib.data(), bytes * 7 / 10),
+                           ckpt::RegionClass::Library);
+          image.add_region("rem",
+                           std::span(rem.data(), bytes - bytes * 7 / 10),
+                           ckpt::RegionClass::Remainder);
+          auto t0 = Clock::now();
+          const ckpt::CkptId id = writer.take_full(image, when);
+          const double commit = seconds_since(t0);
+          (async ? row.async_s : row.serial_s) =
+              std::min(async ? row.async_s : row.serial_s, commit);
+          when += 1.0;
+
+          t0 = Clock::now();
+          (void)writer.restore_latest(image);
+          row.restore_s = std::min(row.restore_s, seconds_since(t0));
+          backend->drop(id);
+        }
+      }
+      best_speedup = std::max(best_speedup, row.serial_s / row.async_s);
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+    return 2;
+  }
+  common::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "ckpt_io");
+  json.kv("chunk_bytes", chunk_bytes);
+  json.kv("reps", reps);
+  json.kv("hardware_threads", common::hardware_workers());
+  json.kv("best_async_speedup", best_speedup);
+  json.key("results").begin_array();
+  for (const Row& r : rows) {
+    const auto mbytes = static_cast<double>(r.bytes) / (1024.0 * 1024.0);
+    json.begin_object();
+    json.kv("backend", r.backend);
+    json.kv("bytes", r.bytes);
+    json.kv("serial_ms", r.serial_s * 1e3);
+    json.kv("async_ms", r.async_s * 1e3);
+    json.kv("async_speedup", r.serial_s / r.async_s);
+    json.kv("commit_MBps", mbytes / r.async_s);
+    json.kv("restore_MBps", mbytes / r.restore_s);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  for (const Row& r : rows)
+    std::cout << r.backend << " " << r.bytes / (1024 * 1024) << "MiB"
+              << " serial=" << r.serial_s * 1e3 << "ms"
+              << " async=" << r.async_s * 1e3 << "ms"
+              << " speedup=" << r.serial_s / r.async_s
+              << " restore=" << (static_cast<double>(r.bytes) / (1024.0 * 1024.0)) / r.restore_s
+              << "MB/s\n";
+  std::cout << "best async-over-serial speedup " << best_speedup
+            << "x; wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,11 +1,71 @@
 #include "ckpt/image.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 
 namespace abftc::ckpt {
+
+namespace {
+
+/// Fixed chunking for the store's parallel copy/CRC loops. The chunk size —
+/// not the worker count — defines the per-chunk CRC boundaries, so the
+/// folded region CRC (crc32_combine in chunk order) is bitwise identical
+/// across 1/2/4/N workers and equals the one-shot crc32.
+constexpr std::size_t kLoopChunk = 256 * 1024;
+
+/// CRC `src` (and, when `dst` is non-null, copy it there) in parallel
+/// fixed-size chunks on the executor.
+std::uint32_t chunked_crc(std::span<const std::byte> src, std::byte* dst,
+                          unsigned threads) {
+  const std::size_t chunks = (src.size() + kLoopChunk - 1) / kLoopChunk;
+  if (chunks <= 1) {
+    if (dst != nullptr) std::memcpy(dst, src.data(), src.size());
+    return common::crc32(src);
+  }
+  std::vector<std::uint32_t> crcs(chunks);
+  common::parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * kLoopChunk;
+        const auto piece =
+            src.subspan(lo, std::min(kLoopChunk, src.size() - lo));
+        if (dst != nullptr)
+          std::memcpy(dst + lo, piece.data(), piece.size());
+        crcs[c] = common::crc32(piece);
+      },
+      threads);
+  common::Crc32Chunks fold;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * kLoopChunk;
+    fold.add(crcs[c], std::min(kLoopChunk, src.size() - lo));
+  }
+  return fold.value();
+}
+
+/// Parallel chunked memcpy (restore path; CRC already verified).
+void chunked_copy(std::span<const std::byte> src, std::byte* dst,
+                  unsigned threads) {
+  const std::size_t chunks = (src.size() + kLoopChunk - 1) / kLoopChunk;
+  if (chunks <= 1) {
+    std::memcpy(dst, src.data(), src.size());
+    return;
+  }
+  common::parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * kLoopChunk;
+        const auto piece =
+            src.subspan(lo, std::min(kLoopChunk, src.size() - lo));
+        std::memcpy(dst + lo, piece.data(), piece.size());
+      },
+      threads);
+}
+
+}  // namespace
 
 const char* to_string(CkptKind k) noexcept {
   switch (k) {
@@ -105,8 +165,8 @@ CheckpointStore::Snapshot CheckpointStore::make_snapshot(
     const auto src = image.bytes(id);
     RegionCopy copy;
     copy.region = id;
-    copy.payload.assign(src.begin(), src.end());
-    copy.crc = common::crc32(src);
+    copy.payload.resize(src.size());
+    copy.crc = chunked_crc(src, copy.payload.data(), threads_);
     snap.record.bytes += copy.payload.size();
     snap.copies.push_back(std::move(copy));
   }
@@ -210,10 +270,11 @@ void CheckpointStore::apply(const Snapshot& snap, MemoryImage& image,
     auto dst = image.mutable_bytes(copy.region);
     ABFTC_CHECK(dst.size() == copy.payload.size(),
                 "region size changed since the checkpoint was taken");
-    ABFTC_CHECK(common::crc32(std::span<const std::byte>(copy.payload)) ==
-                    copy.crc,
+    ABFTC_CHECK(chunked_crc(std::span<const std::byte>(copy.payload), nullptr,
+                            threads_) == copy.crc,
                 "checkpoint payload corrupted in the store");
-    std::copy(copy.payload.begin(), copy.payload.end(), dst.begin());
+    chunked_copy(std::span<const std::byte>(copy.payload), dst.data(),
+                 threads_);
     report.bytes_restored += copy.payload.size();
   }
   report.applied.push_back(snap.record.id);
@@ -261,7 +322,8 @@ CheckpointStore::RestoreReport CheckpointStore::restore_remainder(
         auto dst = image.mutable_bytes(copy.region);
         ABFTC_CHECK(dst.size() == copy.payload.size(),
                     "region size changed since the checkpoint was taken");
-        std::copy(copy.payload.begin(), copy.payload.end(), dst.begin());
+        chunked_copy(std::span<const std::byte>(copy.payload), dst.data(),
+                     threads_);
         report.bytes_restored += copy.payload.size();
       }
       report.applied.push_back(s.record.id);

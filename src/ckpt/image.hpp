@@ -134,6 +134,11 @@ class CheckpointStore {
   /// Total bytes currently held by the store.
   [[nodiscard]] std::size_t stored_bytes() const noexcept;
 
+  /// Worker budget for the store's copy/CRC loops (common::parallel_for);
+  /// 0 = hardware concurrency. Snapshots and CRCs are bitwise identical for
+  /// any setting: the CRC chunking is fixed, only the workers vary.
+  void set_threads(unsigned threads) noexcept { threads_ = threads; }
+
  private:
   struct RegionCopy {
     RegionId region;
@@ -157,6 +162,7 @@ class CheckpointStore {
   std::vector<Snapshot> snapshots_;  // chronological
   CkptId next_id_ = 1;
   double last_when_ = 0.0;
+  unsigned threads_ = 0;  // copy/CRC loop workers; 0 = hardware concurrency
 };
 
 }  // namespace abftc::ckpt

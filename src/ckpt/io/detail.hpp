@@ -1,0 +1,49 @@
+#pragma once
+/// \file detail.hpp
+/// Internal helpers shared by the file and mmap backends. Not part of the
+/// public ckpt::io surface — both on-disk formats embed the same 24-byte
+/// region record, and keeping it (plus the errno/fd plumbing) in one place
+/// means the two layouts cannot silently drift apart.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "ckpt/io/backend.hpp"
+
+namespace abftc::ckpt::io::detail {
+
+/// One region's record in a snapshot's on-medium table (file backend: after
+/// the header; mmap backend: at the slot's data offset).
+struct RegionEntry {
+  std::uint64_t region = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(RegionEntry) == 24, "on-medium region entry layout");
+
+[[noreturn]] inline void sys_error(const std::string& what) {
+  throw io_error(what + ": " + std::strerror(errno));
+}
+
+struct FdGuard {
+  int fd = -1;
+  FdGuard() = default;
+  explicit FdGuard(int f) noexcept : fd(f) {}
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+};
+
+inline std::size_t align_up(std::size_t v, std::size_t a) noexcept {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace abftc::ckpt::io::detail

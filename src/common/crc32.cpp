@@ -54,4 +54,52 @@ std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
   return c ^ 0xFFFFFFFFu;
 }
 
+namespace {
+
+/// 32x32 GF(2) matrix (one column per register bit) times a register vector.
+inline std::uint32_t gf2_times(const std::array<std::uint32_t, 32>& m,
+                               std::uint32_t vec) noexcept {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; vec != 0; vec >>= 1, ++i)
+    if (vec & 1u) sum ^= m[i];
+  return sum;
+}
+
+inline void gf2_square(std::array<std::uint32_t, 32>& out,
+                       const std::array<std::uint32_t, 32>& m) noexcept {
+  for (std::size_t i = 0; i < 32; ++i) out[i] = gf2_times(m, m[i]);
+}
+
+}  // namespace
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b) {
+  if (len_b == 0) return crc_a;
+
+  // `odd` starts as the operator advancing the register by one zero *bit*:
+  // column 0 is the polynomial (feedback of the low bit), column i the shift
+  // of bit i into bit i-1. Repeated squaring yields the 2^k-zero-bit
+  // operators, applied for each set bit of the zero count (8 * len_b bits;
+  // the first square inside the loop makes `even` the one-zero-byte
+  // operator, so the loop walks the *byte* count).
+  std::array<std::uint32_t, 32> odd{}, even{};
+  odd[0] = 0xEDB88320u;
+  for (std::size_t i = 1; i < 32; ++i) odd[i] = 1u << (i - 1);
+  gf2_square(even, odd);  // two zero bits
+  gf2_square(odd, even);  // four zero bits
+
+  std::size_t len = len_b;
+  do {
+    gf2_square(even, odd);
+    if (len & 1u) crc_a = gf2_times(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    gf2_square(odd, even);
+    if (len & 1u) crc_a = gf2_times(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+
+  return crc_a ^ crc_b;
+}
+
 }  // namespace abftc::common

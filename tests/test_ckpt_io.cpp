@@ -1,0 +1,710 @@
+// Tests for the checkpoint I/O subsystem: backend conformance
+// (memory/file/mmap through one parameterized suite), the CkptWriter
+// async pipeline (bitwise-equal to the serial reference, all checkpoint
+// kinds, split restore composition across a backend reopen), integrity
+// rejection (corrupted payload, truncated file, torn snapshot), the
+// MeasuredStorage calibrator, the --storage resolver, and the
+// CheckpointStore's parallel copy/CRC loops (worker-count invariance).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "ckpt/io/backend.hpp"
+#include "ckpt/io/calibrate.hpp"
+#include "ckpt/io/writer.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "core/measured_storage.hpp"
+
+namespace {
+
+using namespace abftc;
+using namespace abftc::ckpt;
+using namespace abftc::ckpt::io;
+namespace fs = std::filesystem;
+
+// --- helpers ----------------------------------------------------------------
+
+/// Fresh per-test scratch directory under $TMPDIR (so CI can point the
+/// whole suite at tmpfs or a real disk; older gtest TempDir() ignores it).
+class TempDir {
+ public:
+  TempDir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string leaf = std::string("abftc_io_") + info->test_suite_name() +
+                       "_" + info->name();
+    // Parameterized test names contain '/', which is a path separator.
+    std::replace(leaf.begin(), leaf.end(), '/', '_');
+    const char* env = std::getenv("TMPDIR");
+    const fs::path base = (env != nullptr && *env != '\0')
+                              ? fs::path(env)
+                              : fs::path(::testing::TempDir());
+    path_ = base / leaf;
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const noexcept { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::vector<std::byte> pattern_bytes(std::size_t n, unsigned seed) {
+  std::vector<std::byte> out(n);
+  std::mt19937 rng(seed);
+  for (auto& b : out) b = static_cast<std::byte>(rng() & 0xFF);
+  return out;
+}
+
+SnapshotBlob sample_blob(CkptId id, std::size_t bytes_a, std::size_t bytes_b) {
+  SnapshotBlob blob;
+  blob.meta.id = id;
+  blob.meta.kind = CkptKind::Full;
+  blob.meta.when = static_cast<double>(id);
+  blob.meta.bytes = bytes_a + bytes_b;
+  const std::pair<RegionId, std::size_t> layout[] = {{0, bytes_a},
+                                                     {1, bytes_b}};
+  for (const auto& [region, bytes] : layout) {
+    RegionBlob r;
+    r.region = region;
+    r.payload = pattern_bytes(bytes, static_cast<unsigned>(id * 7 + region));
+    r.crc = common::crc32(std::span(r.payload));
+    blob.regions.push_back(std::move(r));
+  }
+  return blob;
+}
+
+/// An image over caller-owned buffers: one LIBRARY + one REMAINDER region.
+struct ImageFixture {
+  std::vector<std::byte> lib, rem;
+  MemoryImage image;
+
+  explicit ImageFixture(std::size_t lib_bytes = 300000,
+                        std::size_t rem_bytes = 120000)
+      : lib(pattern_bytes(lib_bytes, 1)), rem(pattern_bytes(rem_bytes, 2)) {
+    image.add_region("lib", std::span(lib), RegionClass::Library);
+    image.add_region("rem", std::span(rem), RegionClass::Remainder);
+  }
+};
+
+// --- backend conformance (same suite for memory / file / mmap) --------------
+
+class BackendConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  [[nodiscard]] std::string spec() const {
+    const std::string kind = GetParam();
+    if (kind == "memory") return "memory";
+    if (kind == "file") return "file:" + (tmp_.path() / "store").string();
+    return "mmap:" + (tmp_.path() / "arena.ckpt").string() + "?mb=8";
+  }
+  TempDir tmp_;
+};
+
+TEST_P(BackendConformance, RoundTripsSnapshots) {
+  const auto backend = make_backend(spec());
+  EXPECT_EQ(backend->name(), std::string(GetParam()));
+  const SnapshotBlob blob = sample_blob(1, 70000, 30000);
+  backend->write_snapshot(blob);
+
+  const SnapshotBlob back = backend->read_snapshot(1);
+  EXPECT_EQ(back.meta.id, blob.meta.id);
+  EXPECT_EQ(back.meta.kind, blob.meta.kind);
+  EXPECT_DOUBLE_EQ(back.meta.when, blob.meta.when);
+  EXPECT_EQ(back.meta.bytes, blob.meta.bytes);
+  ASSERT_EQ(back.regions.size(), blob.regions.size());
+  for (std::size_t i = 0; i < back.regions.size(); ++i) {
+    EXPECT_EQ(back.regions[i].region, blob.regions[i].region);
+    EXPECT_EQ(back.regions[i].crc, blob.regions[i].crc);
+    EXPECT_EQ(back.regions[i].payload, blob.regions[i].payload);
+  }
+  EXPECT_NO_THROW(back.verify());
+}
+
+TEST_P(BackendConformance, ListsInCommitOrderAndDrops) {
+  const auto backend = make_backend(spec());
+  backend->write_snapshot(sample_blob(3, 1000, 500));
+  backend->write_snapshot(sample_blob(1, 2000, 100));
+  backend->write_snapshot(sample_blob(2, 300, 300));
+
+  auto metas = backend->list();
+  ASSERT_EQ(metas.size(), 3u);
+  EXPECT_EQ(metas[0].id, 3u);  // commit order, not id order
+  EXPECT_EQ(metas[1].id, 1u);
+  EXPECT_EQ(metas[2].id, 2u);
+
+  backend->drop(1);
+  metas = backend->list();
+  ASSERT_EQ(metas.size(), 2u);
+  EXPECT_EQ(metas[0].id, 3u);
+  EXPECT_EQ(metas[1].id, 2u);
+  EXPECT_THROW((void)backend->read_snapshot(1), io_error);
+  EXPECT_THROW(backend->drop(1), io_error);
+}
+
+TEST_P(BackendConformance, RejectsUnknownIdsAndDuplicates) {
+  const auto backend = make_backend(spec());
+  EXPECT_THROW((void)backend->read_snapshot(42), io_error);
+  backend->write_snapshot(sample_blob(7, 100, 100));
+  EXPECT_THROW(backend->write_snapshot(sample_blob(7, 100, 100)),
+               common::precondition_error);
+}
+
+TEST_P(BackendConformance, StreamingSessionMatchesBlobWrite) {
+  const auto backend = make_backend(spec());
+  const SnapshotBlob blob = sample_blob(5, 50000, 20000);
+  auto session = backend->begin_snapshot(
+      blob.meta, {blob.regions[0].region, blob.regions[1].region},
+      {blob.regions[0].payload.size(), blob.regions[1].payload.size()});
+  // Append in deliberately awkward chunk sizes.
+  for (const RegionBlob& r : blob.regions) {
+    std::span<const std::byte> rest(r.payload);
+    while (!rest.empty()) {
+      const std::size_t take = std::min<std::size_t>(rest.size(), 7777);
+      session->append(rest.first(take));
+      rest = rest.subspan(take);
+    }
+  }
+  session->commit({blob.regions[0].crc, blob.regions[1].crc});
+
+  const SnapshotBlob back = backend->read_snapshot(5);
+  EXPECT_EQ(back.regions[0].payload, blob.regions[0].payload);
+  EXPECT_EQ(back.regions[1].payload, blob.regions[1].payload);
+  EXPECT_NO_THROW(back.verify());
+}
+
+TEST_P(BackendConformance, AbandonedSessionLeavesNoSnapshot) {
+  const auto backend = make_backend(spec());
+  {
+    auto session = backend->begin_snapshot(
+        SnapshotMeta{9, CkptKind::Full, 1.0, 0, 1000}, {0}, {1000});
+    const auto junk = pattern_bytes(500, 3);
+    session->append(std::span(junk));
+    // destroyed uncommitted
+  }
+  EXPECT_TRUE(backend->list().empty());
+  EXPECT_THROW((void)backend->read_snapshot(9), io_error);
+  // The backend remains fully usable afterwards.
+  backend->write_snapshot(sample_blob(9, 100, 100));
+  EXPECT_EQ(backend->list().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendConformance,
+                         ::testing::Values("memory", "file", "mmap"));
+
+// --- persistence across reopen (file + mmap) --------------------------------
+
+TEST(FileBackendPersistence, SurvivesReopen) {
+  TempDir tmp;
+  const std::string spec = "file:" + (tmp.path() / "store").string();
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 5000, 2000));
+    backend->write_snapshot(sample_blob(2, 100, 900));
+  }
+  const auto reopened = make_backend(spec);
+  ASSERT_EQ(reopened->list().size(), 2u);
+  const SnapshotBlob back = reopened->read_snapshot(1);
+  EXPECT_NO_THROW(back.verify());
+  EXPECT_EQ(back.meta.bytes, 7000u);
+}
+
+TEST(MmapBackendPersistence, SurvivesReopenAndReclaimsWhenEmpty) {
+  TempDir tmp;
+  const std::string spec =
+      "mmap:" + (tmp.path() / "arena.ckpt").string() + "?mb=8";
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 5000, 2000));
+  }
+  const auto reopened = make_backend(spec);
+  ASSERT_EQ(reopened->list().size(), 1u);
+  EXPECT_NO_THROW(reopened->read_snapshot(1).verify());
+
+  auto* arena = dynamic_cast<MmapBackend*>(reopened.get());
+  ASSERT_NE(arena, nullptr);
+  const std::size_t free_before = arena->free_bytes();
+  reopened->drop(1);
+  EXPECT_GT(arena->free_bytes(), free_before);  // cursor rewound when empty
+}
+
+TEST(MmapBackend, DropOfNewestRewindsCursorDespiteHistory) {
+  // Write/restore/drop cycles (the calibrator, rotating protection points)
+  // must not leak arena space even when older snapshots stay live.
+  TempDir tmp;
+  const auto backend =
+      make_backend("mmap:" + (tmp.path() / "arena.ckpt").string() + "?mb=8");
+  backend->write_snapshot(sample_blob(1, 4000, 1000));  // long-lived history
+  auto* arena = dynamic_cast<MmapBackend*>(backend.get());
+  ASSERT_NE(arena, nullptr);
+  const std::size_t free_baseline = arena->free_bytes();
+  for (CkptId id = 2; id < 40; ++id) {
+    backend->write_snapshot(sample_blob(id, 50000, 10000));
+    backend->drop(id);
+    ASSERT_EQ(arena->free_bytes(), free_baseline) << "cycle " << id;
+  }
+  EXPECT_NO_THROW(backend->read_snapshot(1).verify());
+}
+
+TEST(MmapBackend, ReclaimsTornReservationOnReopen) {
+  TempDir tmp;
+  const fs::path arena = tmp.path() / "arena.ckpt";
+  const std::string spec = "mmap:" + arena.string() + "?mb=8";
+  std::size_t free_after_commit = 0;
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 1000, 500));
+    free_after_commit =
+        dynamic_cast<MmapBackend*>(backend.get())->free_bytes();
+  }
+  {
+    // Simulate a crash mid-session: a reserved-but-uncommitted slot and an
+    // advanced bump cursor reach the file (MAP_SHARED) without a commit.
+    std::fstream io(arena, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(io.good());
+    const std::uint32_t one = 1;
+    io.seekp(40 + 64);  // slot 1's `used` flag (header is 40 B, slots 64 B)
+    io.write(reinterpret_cast<const char*>(&one), 4);
+    std::uint64_t cursor = 0;
+    io.seekg(24);  // header.data_cursor
+    io.read(reinterpret_cast<char*>(&cursor), 8);
+    cursor += 1 << 20;
+    io.seekp(24);
+    io.write(reinterpret_cast<const char*>(&cursor), 8);
+  }
+  const auto backend = make_backend(spec);
+  ASSERT_EQ(backend->list().size(), 1u);  // the committed snapshot survives
+  EXPECT_EQ(dynamic_cast<MmapBackend*>(backend.get())->free_bytes(),
+            free_after_commit);  // the torn reservation was reclaimed
+  EXPECT_NO_THROW(backend->write_snapshot(sample_blob(2, 100, 100)));
+}
+
+TEST(MmapBackend, ReportsArenaExhaustion) {
+  TempDir tmp;
+  const auto backend =
+      make_backend("mmap:" + (tmp.path() / "tiny.ckpt").string() + "?mb=1");
+  // ~1 MiB arena minus header: a 2 MiB snapshot cannot fit.
+  SnapshotBlob blob = sample_blob(1, 1 << 21, 1024);
+  EXPECT_THROW(backend->write_snapshot(blob), io_error);
+  EXPECT_TRUE(backend->list().empty());
+}
+
+// --- CkptWriter: pipeline correctness & taxonomy ----------------------------
+
+class WriterRoundTrip : public ::testing::TestWithParam<const char*> {
+ protected:
+  [[nodiscard]] std::string spec() const {
+    const std::string kind = GetParam();
+    if (kind == "memory") return "memory";
+    if (kind == "file") return "file:" + (tmp_.path() / "store").string();
+    return "mmap:" + (tmp_.path() / "arena.ckpt").string() + "?mb=16";
+  }
+  TempDir tmp_;
+};
+
+TEST_P(WriterRoundTrip, FullAndIncrementalRestore) {
+  const auto backend = make_backend(spec());
+  WriterOptions opts;
+  opts.chunk_bytes = 64 * 1024;  // several chunks per region
+  CkptWriter writer(*backend, opts);
+  ImageFixture f;
+
+  writer.take_full(f.image, 1.0);
+  f.rem[0] = std::byte{0xAA};
+  f.image.mark_dirty(1);
+  writer.take_incremental(f.image, 2.0);
+
+  // Scramble and restore: incremental on top of the full base.
+  const auto lib_orig = f.lib, rem_orig = f.rem;
+  std::fill(f.lib.begin(), f.lib.end(), std::byte{0xFF});
+  std::fill(f.rem.begin(), f.rem.end(), std::byte{0xFF});
+  const auto report = writer.restore_latest(f.image);
+  EXPECT_EQ(f.lib, lib_orig);
+  EXPECT_EQ(f.rem, rem_orig);
+  EXPECT_DOUBLE_EQ(report.from_when, 2.0);
+  EXPECT_EQ(report.applied.size(), 2u);
+}
+
+TEST_P(WriterRoundTrip, SplitEntryExitComposition) {
+  const auto backend = make_backend(spec());
+  CkptWriter writer(*backend, WriterOptions{.chunk_bytes = 64 * 1024});
+  ImageFixture f;
+
+  const CkptId entry = writer.take_entry(f.image, 1.0);
+  f.lib[7] = std::byte{0x55};  // the library call mutates its dataset
+  writer.take_exit(f.image, 2.0, entry);
+
+  const auto lib_at_exit = f.lib, rem_at_entry = f.rem;
+  std::fill(f.lib.begin(), f.lib.end(), std::byte{0});
+  std::fill(f.rem.begin(), f.rem.end(), std::byte{0});
+  const auto report = writer.restore_latest(f.image);
+  EXPECT_EQ(f.lib, lib_at_exit);
+  EXPECT_EQ(f.rem, rem_at_entry);
+  EXPECT_EQ(report.applied.size(), 2u);
+  EXPECT_EQ(report.bytes_restored, f.image.total_bytes());
+}
+
+TEST_P(WriterRoundTrip, AsyncAndSerialProduceIdenticalSnapshots) {
+  const auto backend = make_backend(spec());
+  ImageFixture f;
+  {
+    CkptWriter serial(*backend,
+                      WriterOptions{.chunk_bytes = 64 * 1024, .async = false});
+    serial.take_full(f.image, 1.0);
+  }
+  {
+    CkptWriter async(*backend,
+                     WriterOptions{.chunk_bytes = 64 * 1024, .async = true});
+    async.take_full(f.image, 2.0);
+  }
+  const auto metas = backend->list();
+  ASSERT_EQ(metas.size(), 2u);
+  const SnapshotBlob a = backend->read_snapshot(metas[0].id);
+  const SnapshotBlob b = backend->read_snapshot(metas[1].id);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].crc, b.regions[i].crc) << "region " << i;
+    EXPECT_EQ(a.regions[i].payload, b.regions[i].payload) << "region " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, WriterRoundTrip,
+                         ::testing::Values("memory", "file", "mmap"));
+
+TEST(CkptWriter, ExitValidatesCoverageAndEntryKind) {
+  MemoryBackend backend;
+  CkptWriter writer(backend);
+  ImageFixture f;
+  const CkptId full = writer.take_full(f.image, 1.0);
+  EXPECT_THROW(writer.take_exit(f.image, 2.0, full),
+               common::precondition_error);
+  EXPECT_THROW(writer.take_exit(f.image, 2.0, 999),
+               common::precondition_error);
+  EXPECT_THROW(writer.take_incremental(f.image, 0.5),  // when decreasing
+               common::precondition_error);
+}
+
+TEST(CkptWriter, EmptyIncrementalMatchesStoreSemantics) {
+  // An Incremental with nothing dirty records an empty snapshot and keeps
+  // restoring cleanly — CheckpointStore parity.
+  MemoryBackend backend;
+  CkptWriter writer(backend);
+  ImageFixture f;
+  writer.take_full(f.image, 1.0);
+  writer.take_incremental(f.image, 2.0);  // nothing dirty
+  EXPECT_EQ(backend.list().back().bytes, 0u);
+
+  const auto lib_orig = f.lib;
+  std::fill(f.lib.begin(), f.lib.end(), std::byte{0});
+  const auto report = writer.restore_latest(f.image);
+  EXPECT_EQ(f.lib, lib_orig);
+  EXPECT_DOUBLE_EQ(report.from_when, 2.0);
+  EXPECT_EQ(report.applied.size(), 2u);
+}
+
+TEST(CkptWriter, EntryAloneIsNotARestorePoint) {
+  MemoryBackend backend;
+  CkptWriter writer(backend);
+  ImageFixture f;
+  EXPECT_FALSE(writer.has_restore_point());
+  writer.take_entry(f.image, 1.0);
+  EXPECT_FALSE(writer.has_restore_point());
+  EXPECT_THROW(writer.restore_latest(f.image), common::precondition_error);
+}
+
+TEST(CkptWriter, SplitSurvivesBackendReopen) {
+  // Entry+Exit written through one FileBackend instance, restored through a
+  // fresh one — the composition works from persistent state alone.
+  TempDir tmp;
+  const std::string spec = "file:" + (tmp.path() / "store").string();
+  ImageFixture f;
+  std::vector<std::byte> lib_at_exit, rem_at_entry;
+  {
+    const auto backend = make_backend(spec);
+    CkptWriter writer(*backend, WriterOptions{.chunk_bytes = 32 * 1024});
+    const CkptId entry = writer.take_entry(f.image, 1.0);
+    f.lib[11] = std::byte{0x77};
+    writer.take_exit(f.image, 2.0, entry);
+    lib_at_exit = f.lib;
+    rem_at_entry = f.rem;
+  }
+  std::fill(f.lib.begin(), f.lib.end(), std::byte{0});
+  std::fill(f.rem.begin(), f.rem.end(), std::byte{0});
+
+  const auto backend = make_backend(spec);
+  CkptWriter writer(*backend);
+  ASSERT_TRUE(writer.has_restore_point());
+  writer.restore_latest(f.image);
+  EXPECT_EQ(f.lib, lib_at_exit);
+  EXPECT_EQ(f.rem, rem_at_entry);
+  // Ids continue after the reopened history.
+  const CkptId next = writer.take_full(f.image, 3.0);
+  EXPECT_EQ(next, 3u);
+}
+
+// --- integrity rejection ----------------------------------------------------
+
+/// Flip one payload byte of the snapshot file on disk.
+void corrupt_snapshot_file(const fs::path& store, CkptId id) {
+  const fs::path file = store / ("snap_" + std::to_string(id) + ".ckpt");
+  ASSERT_TRUE(fs::exists(file));
+  std::fstream io(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(io.good());
+  io.seekp(-1, std::ios::end);  // last payload byte
+  const auto pos = io.tellp();
+  io.seekg(pos);
+  char b = 0;
+  io.read(&b, 1);
+  b = static_cast<char>(b ^ 0x01);
+  io.seekp(pos);
+  io.write(&b, 1);
+}
+
+TEST(FileBackendIntegrity, CorruptedPayloadFailsRestore) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  const std::string spec = "file:" + store.string();
+  ImageFixture f;
+  {
+    const auto backend = make_backend(spec);
+    CkptWriter writer(*backend);
+    writer.take_full(f.image, 1.0);
+  }
+  corrupt_snapshot_file(store, 1);
+
+  const auto backend = make_backend(spec);
+  CkptWriter writer(*backend);
+  const auto lib_before = f.lib;
+  EXPECT_THROW(writer.restore_latest(f.image), io_error);
+  // Verify-then-apply: the image was not half-restored.
+  EXPECT_EQ(f.lib, lib_before);
+}
+
+TEST(FileBackendIntegrity, TruncatedFileIsRejected) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  const std::string spec = "file:" + store.string();
+  ImageFixture f;
+  {
+    const auto backend = make_backend(spec);
+    CkptWriter writer(*backend);
+    writer.take_full(f.image, 1.0);
+  }
+  const fs::path file = store / "snap_1.ckpt";
+  fs::resize_file(file, fs::file_size(file) - 1000);
+
+  const auto backend = make_backend(spec);
+  EXPECT_THROW((void)backend->read_snapshot(1), io_error);
+  CkptWriter writer(*backend);
+  EXPECT_THROW(writer.restore_latest(f.image), io_error);
+}
+
+TEST(FileBackendIntegrity, TornSnapshotIsRejected) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  const std::string spec = "file:" + store.string();
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 4000, 1000));
+  }
+  // Recreate the exact state a crash between the payload write and the
+  // commit record leaves behind: committed = 0 (offset 12) with a *valid*
+  // header CRC (the phase-1 header is written with its own CRC), so the
+  // torn check — not the header-corruption check — must fire.
+  std::fstream io(store / "snap_1.ckpt",
+                  std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(io.good());
+  std::array<char, 72> header{};
+  io.read(header.data(), header.size());
+  std::memset(header.data() + 12, 0, 4);  // committed = 0
+  const std::uint32_t crc = common::crc32(
+      std::span(reinterpret_cast<const std::byte*>(header.data()), 64));
+  std::memcpy(header.data() + 64, &crc, 4);  // header_crc over bytes [0,64)
+  io.seekp(0);
+  io.write(header.data(), header.size());
+  io.close();
+
+  const auto backend = make_backend(spec);
+  try {
+    (void)backend->read_snapshot(1);
+    FAIL() << "torn snapshot was accepted";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("torn"), std::string::npos)
+        << "wrong rejection path: " << e.what();
+  }
+}
+
+TEST(MmapBackendIntegrity, CorruptedArenaPayloadFailsRestore) {
+  TempDir tmp;
+  const fs::path arena = tmp.path() / "arena.ckpt";
+  const std::string spec = "mmap:" + arena.string() + "?mb=8";
+  ImageFixture f;
+  {
+    const auto backend = make_backend(spec);
+    CkptWriter writer(*backend);
+    writer.take_full(f.image, 1.0);
+  }
+  {
+    // Flip a byte in the data area (past header + slot table).
+    std::fstream io(arena, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(io.good());
+    io.seekp(64 * 1024);
+    char b = 0;
+    io.seekg(64 * 1024);
+    io.read(&b, 1);
+    b = static_cast<char>(b ^ 0x80);
+    io.seekp(64 * 1024);
+    io.write(&b, 1);
+  }
+  const auto backend = make_backend(spec);
+  CkptWriter writer(*backend);
+  EXPECT_THROW(writer.restore_latest(f.image), io_error);
+}
+
+// --- calibrator -------------------------------------------------------------
+
+TEST(Calibrator, FitsBandwidthWithinTwoXOfMeasured) {
+  MemoryBackend backend;
+  CalibrationOptions opts;
+  opts.sizes = {1u << 20, 4u << 20, 16u << 20};
+  opts.reps = 3;
+  const Calibration cal = calibrate_backend(backend, opts);
+
+  // The backend is left empty and the model is well-formed.
+  EXPECT_TRUE(backend.list().empty());
+  EXPECT_GT(cal.write_bandwidth, 0.0);
+  ASSERT_EQ(cal.points.size(), 3u);
+  EXPECT_EQ(cal.model.name, "measured:memory");
+
+  // Fitted bandwidth within 2x of the raw throughput of the largest
+  // measurement (the fit smooths latency out, so they differ but must
+  // agree to a factor of two).
+  const auto& big = cal.points.back();
+  const double measured =
+      static_cast<double>(big.bytes) / big.write_seconds;
+  EXPECT_GT(cal.write_bandwidth, measured / 2.0);
+  EXPECT_LT(cal.write_bandwidth, measured * 2.0);
+
+  // And the model's write_time prediction is within 2x of the measurement.
+  const double predicted = cal.model.write_time(
+      static_cast<double>(big.bytes), 1);
+  EXPECT_GT(predicted, big.write_seconds / 2.0);
+  EXPECT_LT(predicted, big.write_seconds * 2.0);
+}
+
+TEST(Calibrator, WorksOnABackendWithExistingHistory) {
+  // Calibration timestamps must start past the backend's history, and the
+  // history must survive the calibration run.
+  MemoryBackend backend;
+  ImageFixture f(4096, 4096);
+  {
+    CkptWriter writer(backend);
+    writer.take_full(f.image, 100.0);
+  }
+  CalibrationOptions opts;
+  opts.sizes = {1u << 16};
+  opts.reps = 1;
+  EXPECT_NO_THROW((void)calibrate_backend(backend, opts));
+  ASSERT_EQ(backend.list().size(), 1u);
+  EXPECT_DOUBLE_EQ(backend.list()[0].when, 100.0);
+}
+
+// --- the --storage resolver --------------------------------------------------
+
+TEST(StorageResolver, ResolvesAnalyticSchemes) {
+  auto& resolver = core::StorageResolver::instance();
+  const auto pfs = resolver.resolve("pfs:0.5");
+  EXPECT_EQ(pfs.name, "remote-pfs");
+  EXPECT_DOUBLE_EQ(pfs.aggregate_bandwidth, 0.5 * 1024 * 1024 * 1024);
+  const auto buddy = resolver.resolve("buddy:2,0.25");
+  EXPECT_EQ(buddy.name, "buddy");
+  EXPECT_DOUBLE_EQ(buddy.latency, 0.25);
+  EXPECT_THROW((void)resolver.resolve("warp-drive:1"),
+               common::precondition_error);
+}
+
+TEST(StorageResolver, RejectsMalformedSpecs) {
+  auto& resolver = core::StorageResolver::instance();
+  EXPECT_THROW((void)resolver.resolve("pfs:abc"), common::precondition_error);
+  EXPECT_THROW((void)resolver.resolve("pfs:1,0.5,junk"),
+               common::precondition_error);
+  EXPECT_THROW((void)resolver.resolve("pfs:1.5garbage"),
+               common::precondition_error);
+  EXPECT_THROW((void)make_backend("mmap:/tmp/x?mb=abc"),
+               common::precondition_error);
+  EXPECT_THROW((void)make_backend("mmap:/tmp/x?mb=4x"),
+               common::precondition_error);
+  EXPECT_THROW((void)make_backend("file:"), common::precondition_error);
+}
+
+TEST(StorageResolver, CalibratesMeasuredBackends) {
+  TempDir tmp;
+  auto& resolver = core::StorageResolver::instance();
+  const auto model =
+      resolver.resolve("file:" + (tmp.path() / "store").string());
+  EXPECT_EQ(model.name, "measured:file");
+  EXPECT_GT(model.node_bandwidth, 0.0);
+  // A measured local device is per-node storage: constant write time per
+  // node count — the Fig 10 scalable regime.
+  const double t1 = model.write_time(1e6, 1);
+  const double t2 = model.write_time(2e6, 2);
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+// --- CheckpointStore parallel loops -----------------------------------------
+
+TEST(CheckpointStoreParallel, BitwiseIdenticalAcrossWorkerCounts) {
+  // Regions > 256 KiB so the copy/CRC loops actually chunk.
+  struct Result {
+    std::vector<std::byte> lib, rem;
+    std::size_t bytes = 0;
+  };
+  std::vector<Result> results;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ImageFixture f(1 << 20, 600000);
+    CheckpointStore store;
+    store.set_threads(workers);
+    store.take_full(f.image, 1.0);
+    f.lib[123] = std::byte{0x5A};
+    f.image.mark_dirty(0);
+    store.take_incremental(f.image, 2.0);
+    std::fill(f.lib.begin(), f.lib.end(), std::byte{0});
+    std::fill(f.rem.begin(), f.rem.end(), std::byte{0});
+    const auto report = store.restore_latest(f.image);
+    results.push_back({f.lib, f.rem, report.bytes_restored});
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].lib, results[0].lib);
+    EXPECT_EQ(results[i].rem, results[0].rem);
+    EXPECT_EQ(results[i].bytes, results[0].bytes);
+  }
+}
+
+TEST(CheckpointStoreParallel, ChunkedCrcMatchesOneShot) {
+  // The fold the store and the writer both use (common::Crc32Chunks over
+  // independently computed per-chunk CRCs) must equal the plain crc32 of
+  // the whole buffer, for any chunk size.
+  const auto buf = pattern_bytes((1 << 20) + 12345, 42);
+  const std::uint32_t whole = common::crc32(std::span(buf));
+  for (const std::size_t chunk : {64u * 1024u, 256u * 1024u, 1u << 20}) {
+    common::Crc32Chunks fold;
+    for (std::size_t lo = 0; lo < buf.size(); lo += chunk) {
+      const auto piece =
+          std::span(buf).subspan(lo, std::min(chunk, buf.size() - lo));
+      fold.add(common::crc32(piece), piece.size());
+    }
+    EXPECT_EQ(fold.value(), whole) << "chunk=" << chunk;
+  }
+}
+
+}  // namespace

@@ -353,4 +353,42 @@ TEST(Crc32, IncrementalChainingMatchesWholeBuffer) {
   }
 }
 
+TEST(Crc32, StreamingAccumulatorMatchesOneShot) {
+  // Chunked == one-shot on the known vectors, for any chunking.
+  const auto check = as_bytes_vec("123456789");
+  for (const std::size_t chunk : {1u, 2u, 4u, 9u}) {
+    common::Crc32 acc;
+    for (std::size_t lo = 0; lo < check.size(); lo += chunk)
+      acc.update(std::span(check).subspan(
+          lo, std::min<std::size_t>(chunk, check.size() - lo)));
+    EXPECT_EQ(acc.value(), 0xCBF43926u) << "chunk=" << chunk;
+  }
+  common::Crc32 empty;
+  EXPECT_EQ(empty.value(), 0x00000000u);
+  empty.update({});
+  EXPECT_EQ(empty.value(), 0x00000000u);
+
+  common::Crc32 reused;
+  reused.update(std::span(check));
+  reused.reset();
+  const auto a = as_bytes_vec("a");
+  reused.update(std::span(a));
+  EXPECT_EQ(reused.value(), 0xE8B7BE43u);
+}
+
+TEST(Crc32, CombineMatchesConcatenation) {
+  common::Rng rng(99);
+  std::vector<std::byte> buf(5000);
+  for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xFF);
+  const std::uint32_t whole = common::crc32(buf);
+  for (const std::size_t split : {0u, 1u, 8u, 1024u, 4999u, 5000u}) {
+    const std::uint32_t a = common::crc32(std::span(buf).first(split));
+    const std::uint32_t b = common::crc32(std::span(buf).subspan(split));
+    EXPECT_EQ(common::crc32_combine(a, b, buf.size() - split), whole)
+        << "split=" << split;
+  }
+  // Degenerate: appending nothing is the identity.
+  EXPECT_EQ(common::crc32_combine(0x12345678u, 0x0u, 0), 0x12345678u);
+}
+
 }  // namespace
