@@ -1,13 +1,17 @@
 /// \file bench_kernels_json.cpp
 /// Dependency-free GFLOP/s probe for the kernel layer: times naive vs
-/// blocked GEMM (and the blocked path at several thread counts) and emits
-/// BENCH_kernels.json — the perf-trajectory artifact CI tracks across PRs.
+/// blocked GEMM (and the blocked path at several thread counts), plus
+/// reference-loop vs compact-WY blocked Householder QR (with the φ overhead
+/// ratio of the ABFT-protected variant), and emits BENCH_kernels.json — the
+/// perf-trajectory artifact CI tracks across PRs.
 ///
 ///   bench_kernels_json [sizes…] --reps=3 --threads=0 --out=BENCH_kernels.json
 ///
 /// Sizes default to 256 and 512. Each (size, path, threads) cell reports the
 /// best of `reps` runs plus the max-abs deviation of the blocked result from
-/// the naive one. `--threads` caps the swept thread counts (0 = up to the
+/// the naive one. QR cells are emitted for sizes divisible by the QR panel
+/// width (32); the ABFT φ cell additionally needs the block count to fit the
+/// 4×2 process grid. `--threads` caps the swept thread counts (0 = up to the
 /// hardware concurrency); the artifact carries the active KernelPolicy
 /// (path, requested and resolved worker count, dispatch) as metadata.
 
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "abft/abft_qr.hpp"
 #include "abft/blas.hpp"
 #include "abft/kernels.hpp"
 #include "common/cli.hpp"
@@ -37,6 +42,23 @@ struct Cell {
   double gflops = 0.0;
   double max_abs_diff_vs_naive = 0.0;
 };
+
+struct QrCell {
+  std::size_t n = 0;
+  std::string path;  // "reference" or "blocked"
+  unsigned threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double speedup_vs_reference = 0.0;
+  double max_abs_diff_vs_reference = 0.0;
+  double abft_seconds = 0.0;  ///< AbftQr::factor under the same path (0 = n/a)
+  double phi_abft = 0.0;      ///< abft_seconds / seconds
+};
+
+// QR bench fixtures: panel width and the process grid for the ABFT variant
+// (pcols = 2 → one checksum column group per two block columns).
+constexpr std::size_t kQrNb = 32;
+const abft::ProcessGrid kQrGrid{4, 2};
 
 double time_best(int reps, const std::function<void()>& run) {
   double best = 1e300;
@@ -118,6 +140,59 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Compact-WY blocked QR vs the reference reflector loops. QR flops are
+  // the standard 4/3·n³ Householder count; the ABFT cell times the full
+  // protected factorization (checksum columns included) to ground φ_qr.
+  std::vector<QrCell> qr_cells;
+  for (const std::size_t n : sizes) {
+    if (n % kQrNb != 0) continue;
+    common::Rng rng(17);
+    const Matrix a0 = Matrix::random(n, n, rng);
+    const double flops = 4.0 / 3.0 * static_cast<double>(n) * n * n;
+    const bool abft_fits = (n / kQrNb) % kQrGrid.pcols == 0;
+
+    Matrix qr_ref = a0;
+    QrCell ref{n, "reference", 1};
+    {
+      const abft::KernelPolicyGuard guard({abft::KernelPath::naive, 1});
+      ref.seconds = time_best(reps, [&] {
+        qr_ref = a0;
+        abft::plain_blocked_qr(qr_ref, kQrNb);
+      });
+      ref.gflops = flops / ref.seconds / 1e9;
+      ref.speedup_vs_reference = 1.0;
+      if (abft_fits) {
+        ref.abft_seconds = time_best(reps, [&] {
+          abft::AbftQr qr(a0, kQrNb, kQrGrid);
+          qr.factor();
+        });
+        ref.phi_abft = ref.abft_seconds / ref.seconds;
+      }
+    }
+    qr_cells.push_back(ref);
+
+    for (const unsigned t : thread_counts) {
+      Matrix qr_blk = a0;
+      QrCell blocked{n, "blocked", t};
+      const abft::KernelPolicyGuard guard({abft::KernelPath::blocked, t});
+      blocked.seconds = time_best(reps, [&] {
+        qr_blk = a0;
+        abft::plain_blocked_qr(qr_blk, kQrNb);
+      });
+      blocked.gflops = flops / blocked.seconds / 1e9;
+      blocked.speedup_vs_reference = ref.seconds / blocked.seconds;
+      blocked.max_abs_diff_vs_reference = abft::max_abs_diff(qr_blk, qr_ref);
+      if (abft_fits) {
+        blocked.abft_seconds = time_best(reps, [&] {
+          abft::AbftQr qr(a0, kQrNb, kQrGrid);
+          qr.factor();
+        });
+        blocked.phi_abft = blocked.abft_seconds / blocked.seconds;
+      }
+      qr_cells.push_back(blocked);
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "error: cannot open '" << out_path << "' for writing\n";
@@ -148,12 +223,33 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.key("qr").begin_array();
+  for (const QrCell& c : qr_cells) {
+    json.begin_object();
+    json.kv("n", c.n);
+    json.kv("path", c.path);
+    json.kv("threads", c.threads);
+    json.kv("seconds", c.seconds);
+    json.kv("gflops", c.gflops);
+    json.kv("speedup_vs_reference", c.speedup_vs_reference);
+    json.kv("max_abs_diff_vs_reference", c.max_abs_diff_vs_reference);
+    json.kv("abft_seconds", c.abft_seconds);
+    json.kv("phi_abft", c.phi_abft);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   for (const Cell& c : cells)
     std::cout << "n=" << c.n << " path=" << c.path << " threads=" << c.threads
               << " time=" << c.seconds << "s gflops=" << c.gflops
               << " maxdiff=" << c.max_abs_diff_vs_naive << "\n";
+  for (const QrCell& c : qr_cells)
+    std::cout << "qr n=" << c.n << " path=" << c.path
+              << " threads=" << c.threads << " time=" << c.seconds
+              << "s gflops=" << c.gflops
+              << " speedup=" << c.speedup_vs_reference
+              << " phi_abft=" << c.phi_abft << "\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -196,6 +196,51 @@ void BM_AbftQr(benchmark::State& state) {
 }
 BENCHMARK(BM_AbftQr)->Arg(128);
 
+// Reference reflector loops vs the compact-WY blocked application, on the
+// unprotected factorization: the QR analog of BM_GemmNaivePath/BlockedPath.
+void BM_PlainQrKernelPath(benchmark::State& state) {
+  common::Rng rng(17);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a0 = Matrix::random(n, n, rng);
+  const abft::KernelPolicyGuard guard(
+      {state.range(1) == 0 ? abft::KernelPath::naive
+                           : abft::KernelPath::blocked,
+       1});
+  for (auto _ : state) {
+    Matrix a = a0;
+    abft::plain_blocked_qr(a, 32);
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      4.0 / 3.0 * double(n) * double(n) * double(n) *
+          double(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PlainQrKernelPath)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+// The protected factorization under each path: the φ_qr ratio against
+// BM_PlainQrKernelPath grounds the paper's ABFT overhead constant for QR the
+// way BM_AbftLuKernelPath does for LU.
+void BM_AbftQrKernelPath(benchmark::State& state) {
+  common::Rng rng(17);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a0 = Matrix::random(n, n, rng);
+  const abft::KernelPolicyGuard guard(
+      {state.range(1) == 0 ? abft::KernelPath::naive
+                           : abft::KernelPath::blocked,
+       1});
+  for (auto _ : state) {
+    abft::AbftQr qr(a0, 32, kGrid);
+    qr.factor();
+    benchmark::DoNotOptimize(qr.qr());
+  }
+}
+BENCHMARK(BM_AbftQrKernelPath)->Args({256, 0})->Args({256, 1});
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -58,12 +58,22 @@ void AbftQr::step(std::size_t k) {
   geqr2(panel, taus_[k]);
 
   // (b) Apply the panel's reflectors to the trailing columns and to the
-  //     active checksum columns (identical left multiplications).
-  if (rest > 0)
-    apply_reflectors_left(panel, taus_[k],
-                          a_.block(off, off + nb_, n - off, rest));
-  apply_reflectors_left(panel, taus_[k],
-                        active_cs_.block(off, 0, n - off, active_cs_.cols()));
+  //     active checksum columns (identical left multiplications). When the
+  //     trailing update takes the compact-WY path, build the V/T operator
+  //     once and reuse it for the checksum columns — same panel, same
+  //     factors.
+  MatrixView cs = active_cs_.block(off, 0, n - off, active_cs_.cols());
+  if (rest > 0 &&
+      qr_apply_uses_blocked_path(n - off, rest, taus_[k].size())) {
+    const CompactWy wy(panel, taus_[k]);
+    wy.apply_left(a_.block(off, off + nb_, n - off, rest));
+    wy.apply_left(cs);
+  } else {
+    if (rest > 0)
+      apply_reflectors_left(panel, taus_[k],
+                            a_.block(off, off + nb_, n - off, rest));
+    apply_reflectors_left(panel, taus_[k], cs);
+  }
 
   // Freeze the finalized panel columns.
   for (std::size_t i = 0; i < n; ++i)
@@ -122,18 +132,14 @@ Matrix AbftQr::apply_q(const Matrix& x) const {
   ABFTC_REQUIRE(x.rows() == a_.rows(), "row count mismatch");
   Matrix out = x;
   const std::size_t n = a_.rows();
-  // Q = H_0 H_1 … H_{last}: apply reflectors in reverse order. Each H is
-  // symmetric (H = Hᵀ), so reusing the left application is exact.
+  // Q = H_0 H_1 … H_{last}: panels in reverse order, and within a panel the
+  // reverse-order applicator (compact-WY with the untransposed T on the
+  // blocked path; the reference loops visit reflectors last-first). Each H
+  // is symmetric (H = Hᵀ), so reusing the left application is exact.
   for (std::size_t k = frozen_steps_; k-- > 0;) {
     const std::size_t off = k * nb_;
-    // Reflectors within a panel must also be reversed; apply one by one.
-    const auto& tau = taus_[k];
-    for (std::size_t j = tau.size(); j-- > 0;) {
-      std::vector<double> single(j + 1, 0.0);
-      single[j] = tau[j];
-      apply_reflectors_left(a_.block(off, off, n - off, nb_), single,
-                            out.block(off, 0, n - off, out.cols()));
-    }
+    apply_reflectors_left_reverse(a_.block(off, off, n - off, nb_), taus_[k],
+                                  out.block(off, 0, n - off, out.cols()));
   }
   return out;
 }
@@ -151,6 +157,21 @@ double AbftQr::checksum_residual() const {
   }
   return std::max(max_abs_diff(expect_active, active_cs_),
                   max_abs_diff(expect_frozen, frozen_cs_));
+}
+
+void plain_blocked_qr(Matrix& a, std::size_t nb) {
+  ABFTC_REQUIRE(a.rows() == a.cols(), "QR expects a square matrix");
+  ABFTC_REQUIRE(nb > 0 && a.rows() % nb == 0,
+                "dimension must be a multiple of the block size");
+  const std::size_t n = a.rows();
+  std::vector<double> tau;
+  for (std::size_t off = 0; off < n; off += nb) {
+    MatrixView panel = a.block(off, off, n - off, nb);
+    geqr2(panel, tau);
+    const std::size_t rest = n - off - nb;
+    if (rest > 0)
+      apply_reflectors_left(panel, tau, a.block(off, off + nb, n - off, rest));
+  }
 }
 
 }  // namespace abftc::abft

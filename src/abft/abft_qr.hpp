@@ -59,4 +59,10 @@ class AbftQr {
   RecoveryStats recovery_;
 };
 
+/// Baseline: plain blocked Householder QR without checksums (for overhead
+/// benches, the QR analog of plain_blocked_lu). On return `a` holds R in the
+/// upper triangle and the Householder vectors below; the tau coefficients
+/// are discarded. The trailing updates dispatch on the active KernelPolicy.
+void plain_blocked_qr(Matrix& a, std::size_t nb);
+
 }  // namespace abftc::abft

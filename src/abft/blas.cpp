@@ -257,23 +257,143 @@ void geqr2(MatrixView a, std::vector<double>& tau) {
   }
 }
 
-void apply_reflectors_left(ConstMatrixView v_panel,
-                           const std::vector<double>& tau, MatrixView c) {
+namespace {
+
+// Flop-count cutover for the compact-WY applicator, in the spirit of the
+// gemm dispatcher's kBlockedFlopCutoff: below it the V/T scratch and the
+// form_t accumulation cost more than the GEMMs save. A single reflector
+// (k = 1) never benefits.
+constexpr std::size_t kQrApplyFlopCutoff = 32 * 32 * 32;
+
+void check_apply_shapes(ConstMatrixView v_panel, const std::vector<double>& tau,
+                        MatrixView c) {
   ABFTC_REQUIRE(v_panel.rows() == c.rows(),
                 "reflector panel and target must share row count");
   ABFTC_REQUIRE(tau.size() <= v_panel.cols(), "too many tau coefficients");
+}
+
+// One reflector of the reference loops: C ← (I − τ_j v_j v_jᵀ)·C with
+// v_j = [0…0, 1, v_panel(j+1:, j)]. Shared by the forward and reverse
+// reference applications so both orders are bitwise-stable.
+void apply_one_reflector(ConstMatrixView v_panel, double tau_j, std::size_t j,
+                         MatrixView c) {
   const std::size_t m = c.rows();
+  for (std::size_t col = 0; col < c.cols(); ++col) {
+    double s = c(j, col);
+    for (std::size_t i = j + 1; i < m; ++i) s += v_panel(i, j) * c(i, col);
+    s *= tau_j;
+    c(j, col) -= s;
+    for (std::size_t i = j + 1; i < m; ++i) c(i, col) -= s * v_panel(i, j);
+  }
+}
+
+}  // namespace
+
+CompactWy::CompactWy(ConstMatrixView v_panel, const std::vector<double>& tau)
+    : v_(v_panel.rows(), tau.size()), t_(tau.size(), tau.size()) {
+  ABFTC_REQUIRE(!tau.empty(), "compact-WY panel needs at least one reflector");
+  ABFTC_REQUIRE(tau.size() <= v_panel.cols(), "too many tau coefficients");
+  const std::size_t m = v_.rows();
+  const std::size_t k = tau.size();
+  // Materialize the unit lower-trapezoidal V: the stored panel's upper
+  // triangle holds R, which must not leak into the products.
+  for (std::size_t j = 0; j < k; ++j) {
+    v_(j, j) = 1.0;
+    for (std::size_t i = j + 1; i < m; ++i) v_(i, j) = v_panel(i, j);
+  }
+  form_t(v_panel, tau, t_.view());
+}
+
+void CompactWy::apply(MatrixView c, Trans t_trans) const {
+  ABFTC_REQUIRE(c.rows() == v_.rows(),
+                "reflector panel and target must share row count");
+  const std::size_t k = t_.rows();
+  const std::size_t n = c.cols();
+  if (n == 0) return;
+  // W ← Vᵀ·C and C ← C − V·W carry the O(m·n·k) work and dispatch through
+  // gemm (blocked above the gemm cutoff); the k×k triangular factor multiply
+  // stays on the reference loop — it is O(n·k²) and serial keeps the result
+  // worker-count-invariant for free. Forward order applies Tᵀ, reverse T.
+  Matrix w(k, n, 0.0);
+  gemm(1.0, v_.view(), Trans::Yes, c, Trans::No, 0.0, w.view());
+  Matrix tw(k, n, 0.0);
+  naive_gemm(1.0, t_.view(), t_trans, w.view(), Trans::No, 0.0, tw.view());
+  gemm(-1.0, v_.view(), Trans::No, tw.view(), Trans::No, 1.0, c);
+}
+
+void form_t(ConstMatrixView v_panel, const std::vector<double>& tau,
+            MatrixView t) {
+  const std::size_t k = tau.size();
+  const std::size_t m = v_panel.rows();
+  ABFTC_REQUIRE(k <= v_panel.cols(), "too many tau coefficients");
+  ABFTC_REQUIRE(k <= m, "reflector count exceeds panel rows");
+  ABFTC_REQUIRE(t.rows() == k && t.cols() == k, "T must be k×k");
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) t(i, j) = 0.0;
+  std::vector<double> w(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (tau[j] == 0.0) continue;  // H_j = I: the column stays zero.
+    // w ← V(:, 0:j)ᵀ·v_j over the rows where v_j is nonzero (v_j(j) = 1
+    // implicit, v_j(i) = v_panel(i, j) below), traversed row-major.
+    for (std::size_t i = 0; i < j; ++i) w[i] = v_panel(j, i);
+    for (std::size_t r = j + 1; r < m; ++r) {
+      const double vrj = v_panel(r, j);
+      if (vrj == 0.0) continue;
+      for (std::size_t i = 0; i < j; ++i) w[i] += v_panel(r, i) * vrj;
+    }
+    // T(0:j, j) = −τ_j · T(0:j, 0:j)·w (T upper triangular).
+    for (std::size_t i = 0; i < j; ++i) {
+      double s = 0.0;
+      for (std::size_t p = i; p < j; ++p) s += t(i, p) * w[p];
+      t(i, j) = -tau[j] * s;
+    }
+    t(j, j) = tau[j];
+  }
+}
+
+void apply_reflectors_blocked_left(ConstMatrixView v_panel,
+                                   const std::vector<double>& tau,
+                                   MatrixView c) {
+  check_apply_shapes(v_panel, tau, c);
+  if (tau.empty() || c.cols() == 0) return;
+  CompactWy(v_panel, tau).apply_left(c);
+}
+
+void apply_reflectors_left_reference(ConstMatrixView v_panel,
+                                     const std::vector<double>& tau,
+                                     MatrixView c) {
+  check_apply_shapes(v_panel, tau, c);
   for (std::size_t j = 0; j < tau.size(); ++j) {
     if (tau[j] == 0.0) continue;
-    // v = [0…0, 1, v_panel(j+1:, j)]
-    for (std::size_t col = 0; col < c.cols(); ++col) {
-      double s = c(j, col);
-      for (std::size_t i = j + 1; i < m; ++i) s += v_panel(i, j) * c(i, col);
-      s *= tau[j];
-      c(j, col) -= s;
-      for (std::size_t i = j + 1; i < m; ++i)
-        c(i, col) -= s * v_panel(i, j);
-    }
+    apply_one_reflector(v_panel, tau[j], j, c);
+  }
+}
+
+bool qr_apply_uses_blocked_path(std::size_t m, std::size_t n,
+                                std::size_t k) noexcept {
+  return kernel_policy().path == KernelPath::blocked && k >= 2 &&
+         m * n * k >= kQrApplyFlopCutoff;
+}
+
+void apply_reflectors_left(ConstMatrixView v_panel,
+                           const std::vector<double>& tau, MatrixView c) {
+  if (qr_apply_uses_blocked_path(c.rows(), c.cols(), tau.size()))
+    apply_reflectors_blocked_left(v_panel, tau, c);
+  else
+    apply_reflectors_left_reference(v_panel, tau, c);
+}
+
+void apply_reflectors_left_reverse(ConstMatrixView v_panel,
+                                   const std::vector<double>& tau,
+                                   MatrixView c) {
+  check_apply_shapes(v_panel, tau, c);
+  if (qr_apply_uses_blocked_path(c.rows(), c.cols(), tau.size())) {
+    CompactWy(v_panel, tau).apply_left_reverse(c);
+    return;
+  }
+  for (std::size_t j = tau.size(); j-- > 0;) {
+    if (tau[j] == 0.0) continue;
+    apply_one_reflector(v_panel, tau[j], j, c);
   }
 }
 

@@ -45,9 +45,72 @@ void potf2_lower(MatrixView a);
 void geqr2(MatrixView a, std::vector<double>& tau);
 
 /// Apply the reflectors of (v, tau) — as produced by geqr2 on a panel of
-/// `k = tau.size()` columns — to C from the left: C ← (I − τ v vᵀ)…·C.
+/// `k = tau.size()` columns — to C from the left, factorization order
+/// (H_0 first): C ← H_{k-1}·…·H_0·C. Dispatches on the active KernelPolicy:
+/// large targets route through the compact-WY blocked applicator, small
+/// targets and the `naive` policy keep the reference loops.
 void apply_reflectors_left(ConstMatrixView v_panel,
                            const std::vector<double>& tau, MatrixView c);
+
+/// Same operator applied in reverse reflector order (H_{k-1} first):
+/// C ← H_0·…·H_{k-1}·C — what applying Q (rather than Qᵀ) per panel needs.
+/// Dispatches like apply_reflectors_left.
+void apply_reflectors_left_reverse(ConstMatrixView v_panel,
+                                   const std::vector<double>& tau,
+                                   MatrixView c);
+
+/// The reference one-reflector-at-a-time application, explicitly — the
+/// ground truth the blocked path is tested against.
+void apply_reflectors_left_reference(ConstMatrixView v_panel,
+                                     const std::vector<double>& tau,
+                                     MatrixView c);
+
+/// Accumulate the compact-WY triangular factor of a geqr2 panel (LAPACK
+/// `larft`, forward columnwise): H_0·H_1·…·H_{k-1} = I − V·T·Vᵀ with T
+/// upper triangular, k = tau.size(), V the unit lower-trapezoidal reflector
+/// columns stored below the panel diagonal. `t` must be k×k; columns with
+/// tau[j] == 0 are zeroed (H_j = I drops out of the product exactly).
+void form_t(ConstMatrixView v_panel, const std::vector<double>& tau,
+            MatrixView t);
+
+/// Compact-WY blocked application, explicitly (LAPACK `larfb` shape): the
+/// same operator as apply_reflectors_left, C ← H_{k-1}·…·H_0·C
+/// = (I − V·Tᵀ·Vᵀ)·C, computed as three GEMM calls — W ← Vᵀ·C, W ← Tᵀ·W,
+/// C ← C − V·W — so the O(m·n·k) work runs on the packed, register-tiled,
+/// multithreaded path. Agrees with the reference loops to rounding and is
+/// bitwise-deterministic across worker counts (the GEMMs are).
+void apply_reflectors_blocked_left(ConstMatrixView v_panel,
+                                   const std::vector<double>& tau,
+                                   MatrixView c);
+
+/// The materialized compact-WY operator of a geqr2 panel: the unit
+/// lower-trapezoidal V (the stored panel's upper triangle holds R and is
+/// masked out) plus the `form_t` factor, built once and reusable across
+/// several targets of the same panel — AbftQr applies each panel to both
+/// the trailing matrix and the checksum columns, and rebuilding V/T per
+/// target would repeat the O(m·k²) accumulation for no new information.
+class CompactWy {
+ public:
+  /// Requires at least one reflector (the dispatcher never routes k < 2).
+  CompactWy(ConstMatrixView v_panel, const std::vector<double>& tau);
+
+  /// C ← H_{k-1}·…·H_0·C (the factorization order).
+  void apply_left(MatrixView c) const { apply(c, Trans::Yes); }
+  /// C ← H_0·…·H_{k-1}·C (the Q-application order).
+  void apply_left_reverse(MatrixView c) const { apply(c, Trans::No); }
+
+ private:
+  void apply(MatrixView c, Trans t_trans) const;
+
+  Matrix v_;  // m × k, unit lower-trapezoidal
+  Matrix t_;  // k × k, upper triangular
+};
+
+/// True when the dispatcher would route a k-reflector application to an
+/// m×n target through the compact-WY blocked path under the active policy
+/// (exposed so tests can assert the cutover, like gemm_uses_blocked_path).
+[[nodiscard]] bool qr_apply_uses_blocked_path(std::size_t m, std::size_t n,
+                                              std::size_t k) noexcept;
 
 /// y ← A·x (helper for solve verification).
 void gemv(ConstMatrixView a, const std::vector<double>& x,

@@ -59,6 +59,20 @@ inline double op_at(ConstMatrixView m, Trans t, std::size_t i, std::size_t j) {
   return t == Trans::No ? m(i, j) : m(j, i);
 }
 
+// β-scale of C outside the fused epilogue. The naive path and the blocked
+// path's degenerate no-product shapes share it so the β semantics cannot
+// diverge across the dispatch cutover: β == 0 overwrites, never reads.
+void scale_c(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    for (std::size_t i = 0; i < c.rows(); ++i)
+      for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) = 0.0;
+  } else {
+    for (std::size_t i = 0; i < c.rows(); ++i)
+      for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) *= beta;
+  }
+}
+
 /// Pack op(A)(i0:i0+mc, p0:p0+pc) into micro-row-panel order: panel `ir`
 /// holds rows [ir·MR, ir·MR+MR) stored column-by-column (p-major), zero-padded
 /// to a full MR so the micro-kernel never branches on the row edge.
@@ -100,11 +114,19 @@ void pack_b(ConstMatrixView b, Trans tb, std::size_t p0, std::size_t pc,
   }
 }
 
-/// C(0:mr, 0:nr) += Σ_p ap[p·MR + i] · bp[p·NR + j]. The accumulators live
-/// in registers for the whole kc loop; the packed panels are read once each.
+/// C(0:mr, 0:nr) ← β·C + Σ_p ap[p·MR + i] · bp[p·NR + j]. The accumulators
+/// live in registers for the whole kc loop; the packed panels are read once
+/// each. β is applied in the store-back epilogue — the caller passes the
+/// gemm-level β on the first kc pass and 1.0 on the rest, which fuses the
+/// scale into the pass that touches C anyway (no standalone C sweep).
+/// β == 0 is a BLAS-style fast path that never reads C; β ∉ {0, 1} fuses
+/// scale and accumulate (FMA where the ISA has it). Each element takes the
+/// same path on every run, so results stay bitwise-deterministic for a
+/// fixed build regardless of worker count.
 #if defined(__AVX512F__)
 void micro_kernel(std::size_t pc, const double* ap, const double* bp,
-                  double* c, std::size_t ldc, std::size_t mr, std::size_t nr) {
+                  double* c, std::size_t ldc, std::size_t mr, std::size_t nr,
+                  double beta) {
   static_assert(kMr == 8 && kNr == 16, "kernel is written for an 8x16 tile");
   // 16 accumulator zmm registers + 2 B registers + 1 broadcast of 32.
   __m512d c0a = _mm512_setzero_pd(), c0b = _mm512_setzero_pd();
@@ -146,30 +168,30 @@ void micro_kernel(std::size_t pc, const double* ap, const double* bp,
     c7b = _mm512_fmadd_pd(ai, b1, c7b);
   }
   if (mr == kMr && nr == kNr) {
+    const __m512d rows[kMr][2] = {{c0a, c0b}, {c1a, c1b}, {c2a, c2b},
+                                  {c3a, c3b}, {c4a, c4b}, {c5a, c5b},
+                                  {c6a, c6b}, {c7a, c7b}};
     double* r = c;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c0a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c0b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c1a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c1b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c2a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c2b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c3a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c3b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c4a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c4b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c5a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c5b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c6a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c6b));
-    r += ldc;
-    _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), c7a));
-    _mm512_storeu_pd(r + 8, _mm512_add_pd(_mm512_loadu_pd(r + 8), c7b));
+    if (beta == 1.0) {
+      for (std::size_t i = 0; i < kMr; ++i, r += ldc) {
+        _mm512_storeu_pd(r, _mm512_add_pd(_mm512_loadu_pd(r), rows[i][0]));
+        _mm512_storeu_pd(r + 8,
+                         _mm512_add_pd(_mm512_loadu_pd(r + 8), rows[i][1]));
+      }
+    } else if (beta == 0.0) {
+      for (std::size_t i = 0; i < kMr; ++i, r += ldc) {
+        _mm512_storeu_pd(r, rows[i][0]);
+        _mm512_storeu_pd(r + 8, rows[i][1]);
+      }
+    } else {
+      const __m512d bv = _mm512_set1_pd(beta);
+      for (std::size_t i = 0; i < kMr; ++i, r += ldc) {
+        _mm512_storeu_pd(
+            r, _mm512_fmadd_pd(bv, _mm512_loadu_pd(r), rows[i][0]));
+        _mm512_storeu_pd(
+            r + 8, _mm512_fmadd_pd(bv, _mm512_loadu_pd(r + 8), rows[i][1]));
+      }
+    }
     return;
   }
   alignas(64) double acc[kMr][kNr];
@@ -189,12 +211,22 @@ void micro_kernel(std::size_t pc, const double* ap, const double* bp,
   _mm512_store_pd(acc[6] + 8, c6b);
   _mm512_store_pd(acc[7], c7a);
   _mm512_store_pd(acc[7] + 8, c7b);
-  for (std::size_t i = 0; i < mr; ++i)
-    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  if (beta == 1.0) {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  } else if (beta == 0.0) {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  } else {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j)
+        c[i * ldc + j] = beta * c[i * ldc + j] + acc[i][j];
+  }
 }
 #elif defined(__AVX2__) && defined(__FMA__)
 void micro_kernel(std::size_t pc, const double* ap, const double* bp,
-                  double* c, std::size_t ldc, std::size_t mr, std::size_t nr) {
+                  double* c, std::size_t ldc, std::size_t mr, std::size_t nr,
+                  double beta) {
   static_assert(kMr == 6 && kNr == 8, "kernel is written for a 6x8 tile");
   // 12 accumulator ymm registers + 2 B registers + 1 broadcast = 15 of 16.
   __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
@@ -228,24 +260,29 @@ void micro_kernel(std::size_t pc, const double* ap, const double* bp,
     c51 = _mm256_fmadd_pd(ai, b1, c51);
   }
   if (mr == kMr && nr == kNr) {
+    const __m256d rows[kMr][2] = {{c00, c01}, {c10, c11}, {c20, c21},
+                                  {c30, c31}, {c40, c41}, {c50, c51}};
     double* r = c;
-    _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c00));
-    _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c01));
-    r = c + ldc;
-    _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c10));
-    _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c11));
-    r = c + 2 * ldc;
-    _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c20));
-    _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c21));
-    r = c + 3 * ldc;
-    _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c30));
-    _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c31));
-    r = c + 4 * ldc;
-    _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c40));
-    _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c41));
-    r = c + 5 * ldc;
-    _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c50));
-    _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c51));
+    if (beta == 1.0) {
+      for (std::size_t i = 0; i < kMr; ++i, r += ldc) {
+        _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), rows[i][0]));
+        _mm256_storeu_pd(r + 4,
+                         _mm256_add_pd(_mm256_loadu_pd(r + 4), rows[i][1]));
+      }
+    } else if (beta == 0.0) {
+      for (std::size_t i = 0; i < kMr; ++i, r += ldc) {
+        _mm256_storeu_pd(r, rows[i][0]);
+        _mm256_storeu_pd(r + 4, rows[i][1]);
+      }
+    } else {
+      const __m256d bv = _mm256_set1_pd(beta);
+      for (std::size_t i = 0; i < kMr; ++i, r += ldc) {
+        _mm256_storeu_pd(r,
+                         _mm256_fmadd_pd(bv, _mm256_loadu_pd(r), rows[i][0]));
+        _mm256_storeu_pd(
+            r + 4, _mm256_fmadd_pd(bv, _mm256_loadu_pd(r + 4), rows[i][1]));
+      }
+    }
     return;
   }
   alignas(32) double acc[kMr][kNr];
@@ -261,12 +298,22 @@ void micro_kernel(std::size_t pc, const double* ap, const double* bp,
   _mm256_store_pd(acc[4] + 4, c41);
   _mm256_store_pd(acc[5], c50);
   _mm256_store_pd(acc[5] + 4, c51);
-  for (std::size_t i = 0; i < mr; ++i)
-    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  if (beta == 1.0) {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  } else if (beta == 0.0) {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  } else {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j)
+        c[i * ldc + j] = beta * c[i * ldc + j] + acc[i][j];
+  }
 }
 #else
 void micro_kernel(std::size_t pc, const double* ap, const double* bp,
-                  double* c, std::size_t ldc, std::size_t mr, std::size_t nr) {
+                  double* c, std::size_t ldc, std::size_t mr, std::size_t nr,
+                  double beta) {
   double acc[kMr][kNr] = {};
   for (std::size_t p = 0; p < pc; ++p) {
     const double* a = ap + p * kMr;
@@ -276,8 +323,17 @@ void micro_kernel(std::size_t pc, const double* ap, const double* bp,
       for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += ai * b[j];
     }
   }
-  for (std::size_t i = 0; i < mr; ++i)
-    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  if (beta == 1.0) {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  } else if (beta == 0.0) {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  } else {
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j)
+        c[i * ldc + j] = beta * c[i * ldc + j] + acc[i][j];
+  }
 }
 #endif
 
@@ -314,8 +370,7 @@ void naive_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
                 Trans tb, double beta, MatrixView c) {
   const auto [m, n, k] = gemm_shape(a, ta, b, tb, c);
 
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) c(i, j) *= beta;
+  scale_c(beta, c);
 
   if (ta == Trans::No && tb == Trans::No) {
     // ikj order: stream through rows of B for row-major locality.
@@ -354,12 +409,14 @@ void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
                   common::Dispatch dispatch) {
   const auto [m, n, k] = gemm_shape(a, ta, b, tb, c);
 
-  // β-scale first, like the reference path. β == 1 (every trailing-update
-  // call) skips the sweep: x·1.0 is value-identical for all doubles.
-  if (beta != 1.0)
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j) c(i, j) *= beta;
-  if (alpha == 0.0 || k == 0) return;
+  // The β-scale is fused into the first kc pass of the micro-kernel (the
+  // pass touches every C tile anyway, so the standalone C sweep is a whole
+  // memory pass saved on every β ≠ 1 call). Only the degenerate no-product
+  // shapes, where no pass runs, scale C here.
+  if (alpha == 0.0 || k == 0) {
+    scale_c(beta, c);
+    return;
+  }
 
   const std::size_t ic_panels = (m + kMc - 1) / kMc;
   const std::size_t bpack_cols = (std::min(n, kNc) + kNr - 1) / kNr * kNr;
@@ -369,6 +426,9 @@ void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
     const std::size_t nc = std::min(kNc, n - jc);
     for (std::size_t pc0 = 0; pc0 < k; pc0 += kKc) {
       const std::size_t pc = std::min(kKc, k - pc0);
+      // Each C element is visited by exactly one jc block, once per kc pass;
+      // the first pass carries the β-scale, later passes accumulate.
+      const double pass_beta = (pc0 == 0) ? beta : 1.0;
       pack_b(b, tb, pc0, pc, jc, nc, bpack.data());
 
       // Row panels of C are disjoint, so each worker owns its output rows:
@@ -387,7 +447,7 @@ void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
               for (std::size_t ir = 0; ir < mc; ir += kMr) {
                 const std::size_t mr = std::min(kMr, mc - ir);
                 micro_kernel(pc, apack.data() + (ir / kMr) * pc * kMr, bp,
-                             &c(i0 + ir, jc + jr), c.ld(), mr, nr);
+                             &c(i0 + ir, jc + jr), c.ld(), mr, nr, pass_beta);
               }
             }
           },

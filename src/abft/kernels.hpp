@@ -64,7 +64,10 @@ class KernelPolicyGuard {
 
 /// C ← α·op(A)·op(B) + β·C through the packed blocked path, explicitly —
 /// bypasses the global policy (used by benches and equivalence tests).
-/// `threads == 0` means hardware concurrency.
+/// `threads == 0` means hardware concurrency. The β-scale is fused into the
+/// first kc pass of the micro-kernel (no standalone C sweep); β == 0 follows
+/// BLAS semantics on both this and the naive path — C is overwritten, never
+/// read, so NaN-poisoned output blocks are not propagated.
 void blocked_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
                   Trans tb, double beta, MatrixView c, unsigned threads = 0,
                   common::Dispatch dispatch = common::Dispatch::Pool);

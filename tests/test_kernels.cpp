@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstring>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -94,6 +95,75 @@ TEST(BlockedGemm, MatchesNaiveOnStridedSubviews) {
   abft::blocked_gemm(1.0, av, Trans::No, bv, Trans::No, 1.0,
                      big_c2.block(4, 6, 150, 170), 1);
   EXPECT_LT(abft::max_abs_diff(big_c1, big_c2), kTol);
+}
+
+// The β-scale is fused into the first kc pass of the blocked path (no
+// standalone C sweep). k > kc forces multiple kc passes, so this also pins
+// that only the first pass scales.
+TEST(BlockedGemm, FusedBetaMatchesNaiveAcrossKcPasses) {
+  const std::size_t m = 129, n = 65, k = 520;  // ≥ 2 kc passes on every ISA
+  const Matrix a = random_matrix(m, k, 301);
+  const Matrix b = random_matrix(k, n, 302);
+  for (const double beta : {0.0, 1.0, -0.5, 0.75, 2.0}) {
+    Matrix c_naive = random_matrix(m, n, 303);
+    Matrix c_blocked = c_naive;
+    abft::naive_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, beta,
+                     c_naive.view());
+    abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, beta,
+                       c_blocked.view(), 1);
+    EXPECT_LT(abft::max_abs_diff(c_naive, c_blocked), kTol) << "beta=" << beta;
+  }
+}
+
+TEST(BlockedGemm, FusedBetaDegenerateShapesStillScaleC) {
+  // alpha == 0 and k == 0 run no packed pass; the β-scale must still land.
+  Matrix c = random_matrix(40, 40, 304);
+  Matrix expect = c;
+  for (std::size_t i = 0; i < 40; ++i)
+    for (std::size_t j = 0; j < 40; ++j) expect(i, j) *= 0.25;
+  const Matrix a = random_matrix(40, 8, 305);
+  const Matrix b = random_matrix(8, 40, 306);
+  abft::blocked_gemm(0.0, a.view(), Trans::No, b.view(), Trans::No, 0.25,
+                     c.view(), 1);
+  EXPECT_EQ(abft::max_abs_diff(expect, c), 0.0);
+
+  Matrix c0 = random_matrix(40, 40, 307);
+  const double dummy = 0.0;
+  const ConstMatrixView empty_a(&dummy, 40, 0, 0);  // k == 0
+  const ConstMatrixView empty_b(&dummy, 0, 40, 40);
+  abft::blocked_gemm(1.0, empty_a, Trans::No, empty_b, Trans::No, 0.0,
+                     c0.view(), 1);
+  EXPECT_EQ(c0.max_abs(), 0.0);
+}
+
+TEST(BlockedGemm, BetaZeroOverwritesNaNPoisonedCOnBothPaths) {
+  // BLAS semantics: β == 0 never reads C, so a NaN-poisoned output block
+  // (the wiped-block marker) is overwritten identically on both paths —
+  // the result cannot depend on the size-based dispatch cutover.
+  Matrix c_naive = random_matrix(64, 64, 320);
+  c_naive(3, 5) = std::numeric_limits<double>::quiet_NaN();
+  Matrix c_blocked = c_naive;
+  const Matrix a = random_matrix(64, 64, 321);
+  const Matrix b = random_matrix(64, 64, 322);
+  abft::naive_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0,
+                   c_naive.view());
+  abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0,
+                     c_blocked.view(), 1);
+  EXPECT_FALSE(abft::has_nan(c_naive.view()));
+  EXPECT_FALSE(abft::has_nan(c_blocked.view()));
+  EXPECT_LT(abft::max_abs_diff(c_naive, c_blocked), kTol);
+}
+
+TEST(BlockedGemm, FusedBetaDeterministicAcrossThreadCounts) {
+  const Matrix a = random_matrix(150, 300, 311);
+  const Matrix b = random_matrix(300, 140, 312);
+  const Matrix c0 = random_matrix(150, 140, 313);
+  Matrix c1 = c0, c4 = c0;
+  abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.7,
+                     c1.view(), 1);
+  abft::blocked_gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.7,
+                     c4.view(), 4);
+  EXPECT_EQ(abft::max_abs_diff(c1, c4), 0.0);
 }
 
 TEST(BlockedGemm, DeterministicAcrossThreadCounts) {
@@ -275,6 +345,153 @@ TEST(BlockedFactor, Geqr2AgreesAcrossPolicies) {
   abft::apply_reflectors_left(a_blocked.view(), tau_blocked,
                               c_blocked.view());
   EXPECT_LT(abft::max_abs_diff(c_naive, c_blocked), kTol);
+}
+
+// --- Compact-WY blocked reflector application -------------------------------
+
+// Factor a random m×k panel with geqr2, returning the compact panel + taus.
+std::pair<Matrix, std::vector<double>> qr_panel(std::size_t m, std::size_t k,
+                                                std::uint64_t seed) {
+  Matrix p = random_matrix(m, k, seed);
+  std::vector<double> tau;
+  abft::geqr2(p.view(), tau);
+  return {std::move(p), std::move(tau)};
+}
+
+TEST(CompactWy, BlockedApplyMatchesReferenceOnTallPanel) {
+  const auto [p, tau] = qr_panel(300, 24, 401);
+  const Matrix c0 = random_matrix(300, 150, 402);
+  Matrix c_ref = c0, c_blk = c0;
+  abft::apply_reflectors_left_reference(p.view(), tau, c_ref.view());
+  abft::apply_reflectors_blocked_left(p.view(), tau, c_blk.view());
+  EXPECT_LT(abft::max_abs_diff(c_ref, c_blk), kTol);
+}
+
+TEST(CompactWy, HandlesTauZeroColumns) {
+  // Columns that start all-zero stay zero under every reflector (H·0 = 0),
+  // so geqr2 emits tau == 0 for them; the T factor must drop them exactly.
+  Matrix a = random_matrix(120, 16, 403);
+  for (std::size_t i = 0; i < 120; ++i) a(i, 3) = a(i, 10) = 0.0;
+  std::vector<double> tau;
+  abft::geqr2(a.view(), tau);
+  ASSERT_EQ(tau[3], 0.0);
+  ASSERT_EQ(tau[10], 0.0);
+  const Matrix c0 = random_matrix(120, 70, 404);
+  Matrix c_ref = c0, c_blk = c0;
+  abft::apply_reflectors_left_reference(a.view(), tau, c_ref.view());
+  abft::apply_reflectors_blocked_left(a.view(), tau, c_blk.view());
+  EXPECT_LT(abft::max_abs_diff(c_ref, c_blk), kTol);
+}
+
+TEST(CompactWy, NonMultipleOfTileSizes) {
+  // k, m, n all off the register tile and the panel width.
+  const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+      {97, 5, 33}, {65, 13, 129}, {200, 31, 77}};
+  for (const auto& [m, k, n] : shapes) {
+    const auto [p, tau] = qr_panel(m, k, 405 + m);
+    const Matrix c0 = random_matrix(m, n, 406 + n);
+    Matrix c_ref = c0, c_blk = c0;
+    abft::apply_reflectors_left_reference(p.view(), tau, c_ref.view());
+    abft::apply_reflectors_blocked_left(p.view(), tau, c_blk.view());
+    EXPECT_LT(abft::max_abs_diff(c_ref, c_blk), kTol)
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(CompactWy, StridedViews) {
+  // Panel and target live inside larger matrices (ld > cols), the layout
+  // every AbftQr trailing/checksum application uses.
+  Matrix big = random_matrix(260, 240, 407);
+  Matrix pan = big;
+  MatrixView panel = pan.block(20, 10, 220, 18);
+  std::vector<double> tau;
+  abft::geqr2(panel, tau);
+  Matrix tgt_ref = random_matrix(260, 200, 408);
+  Matrix tgt_blk = tgt_ref;
+  abft::apply_reflectors_left_reference(panel, tau,
+                                        tgt_ref.block(20, 30, 220, 120));
+  abft::apply_reflectors_blocked_left(panel, tau,
+                                      tgt_blk.block(20, 30, 220, 120));
+  EXPECT_LT(abft::max_abs_diff(tgt_ref, tgt_blk), kTol);
+}
+
+TEST(CompactWy, BitwiseDeterministicAcrossWorkerCounts) {
+  const auto [p, tau] = qr_panel(320, 32, 409);
+  const Matrix c0 = random_matrix(320, 256, 410);
+  Matrix c1 = c0, c2 = c0, c4 = c0;
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    abft::apply_reflectors_blocked_left(p.view(), tau, c1.view());
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 2});
+    abft::apply_reflectors_blocked_left(p.view(), tau, c2.view());
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 4});
+    abft::apply_reflectors_blocked_left(p.view(), tau, c4.view());
+  }
+  EXPECT_EQ(abft::max_abs_diff(c1, c2), 0.0);
+  EXPECT_EQ(abft::max_abs_diff(c1, c4), 0.0);
+}
+
+TEST(CompactWy, ReverseApplyMatchesSequentialReverse) {
+  const auto [p, tau] = qr_panel(200, 16, 411);
+  const Matrix c0 = random_matrix(200, 90, 412);
+  Matrix c_ref = c0, c_blk = c0;
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    abft::apply_reflectors_left_reverse(p.view(), tau, c_ref.view());
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    abft::apply_reflectors_left_reverse(p.view(), tau, c_blk.view());
+  }
+  EXPECT_LT(abft::max_abs_diff(c_ref, c_blk), kTol);
+  // Reverse-of-forward is the identity up to rounding (the H_j are
+  // involutions): a strong cross-check that both orders are consistent.
+  Matrix round_trip = c0;
+  abft::apply_reflectors_left(p.view(), tau, round_trip.view());
+  abft::apply_reflectors_left_reverse(p.view(), tau, round_trip.view());
+  EXPECT_LT(abft::max_abs_diff(round_trip, c0), 1e-9);
+}
+
+TEST(CompactWy, FormTReproducesProductOfReflectors) {
+  // I − V·T·Vᵀ applied to the identity must equal H_0·…·H_{k-1} column by
+  // column (the reverse-order application of the reference loops).
+  const std::size_t m = 60, k = 12;
+  const auto [p, tau] = qr_panel(m, k, 413);
+  Matrix t(k, k, 0.0);
+  abft::form_t(p.view(), tau, t.view());
+  // Upper triangular with tau on the diagonal.
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(t(j, j), tau[j], kTol);
+    for (std::size_t i = j + 1; i < k; ++i) EXPECT_EQ(t(i, j), 0.0);
+  }
+  Matrix wy = Matrix::identity(m);
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    abft::apply_reflectors_left_reverse(p.view(), tau, wy.view());
+  }
+  Matrix seq = Matrix::identity(m);
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    abft::apply_reflectors_left_reverse(p.view(), tau, seq.view());
+  }
+  EXPECT_LT(abft::max_abs_diff(wy, seq), kTol);
+}
+
+TEST(CompactWy, DispatchCutover) {
+  {
+    KernelPolicyGuard guard({KernelPath::blocked, 1});
+    EXPECT_TRUE(abft::qr_apply_uses_blocked_path(512, 512, 16));
+    EXPECT_FALSE(abft::qr_apply_uses_blocked_path(512, 512, 1));  // k == 1
+    EXPECT_FALSE(abft::qr_apply_uses_blocked_path(16, 8, 4));  // tiny target
+  }
+  {
+    KernelPolicyGuard guard({KernelPath::naive, 1});
+    EXPECT_FALSE(abft::qr_apply_uses_blocked_path(512, 512, 16));
+  }
 }
 
 // --- Parallel checksums -----------------------------------------------------
