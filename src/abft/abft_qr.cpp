@@ -18,6 +18,13 @@ AbftQr::AbftQr(Matrix a, std::size_t nb, ProcessGrid grid)
   active_cs_ = col_group_checksums(a_, nb_, grid_.pcols);
   frozen_cs_ = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
   taus_.resize(nbk_);
+  wy_.resize(nbk_);
+}
+
+AbftQr::~AbftQr() = default;
+
+void AbftQr::drop_wy_cache() noexcept {
+  for (auto& wy : wy_) wy.reset();
 }
 
 void AbftQr::factor(const std::vector<Fault>& faults) {
@@ -65,9 +72,11 @@ void AbftQr::step(std::size_t k) {
   MatrixView cs = active_cs_.block(off, 0, n - off, active_cs_.cols());
   if (rest > 0 &&
       qr_apply_uses_blocked_path(n - off, rest, taus_[k].size())) {
-    const CompactWy wy(panel, taus_[k]);
-    wy.apply_left(a_.block(off, off + nb_, n - off, rest));
-    wy.apply_left(cs);
+    // Cache the V/T operator: the panel's V columns are frozen from here
+    // on, so apply_q / apply_q_transpose can reuse it verbatim.
+    wy_[k] = std::make_unique<CompactWy>(panel, taus_[k]);
+    wy_[k]->apply_left(a_.block(off, off + nb_, n - off, rest));
+    wy_[k]->apply_left(cs);
   } else {
     if (rest > 0)
       apply_reflectors_left(panel, taus_[k],
@@ -91,6 +100,11 @@ void AbftQr::recover_rank(std::size_t k, std::size_t dead_rank) {
     MatrixView lost = a_.view().block(bi * nb_, bj * nb_, nb_, nb_);
     if (!has_nan(lost)) continue;
     const bool frozen = bj < k;
+    // A recovered frozen block rewrites part of panel bj's stored V with
+    // its checksum reconstruction (exact to the protection model, not
+    // bitwise the original values): drop the cached operator so later
+    // Q applications rebuild from what the matrix actually holds.
+    if (frozen && bj < wy_.size()) wy_[bj].reset();
     const Matrix& cs = frozen ? frozen_cs_ : active_cs_;
     const std::size_t g = bj / grid_.pcols;
     for (std::size_t r = 0; r < nb_; ++r)
@@ -122,8 +136,18 @@ Matrix AbftQr::apply_q_transpose(const Matrix& x) const {
   const std::size_t n = a_.rows();
   for (std::size_t k = 0; k < frozen_steps_; ++k) {
     const std::size_t off = k * nb_;
-    apply_reflectors_left(a_.block(off, off, n - off, nb_), taus_[k],
-                          out.block(off, 0, n - off, out.cols()));
+    MatrixView target = out.block(off, 0, n - off, out.cols());
+    // The cached operator is exactly what the blocked dispatch would
+    // rebuild (same panel, same taus), so results are bitwise identical —
+    // it only skips the per-application form_t. Consult the dispatcher
+    // first: if the active policy routes this shape to the reference
+    // loops, honor that (the cache must never change which path runs).
+    if (wy_[k] &&
+        qr_apply_uses_blocked_path(n - off, out.cols(), taus_[k].size()))
+      wy_[k]->apply_left(target);
+    else
+      apply_reflectors_left(a_.block(off, off, n - off, nb_), taus_[k],
+                            target);
   }
   return out;
 }
@@ -138,8 +162,13 @@ Matrix AbftQr::apply_q(const Matrix& x) const {
   // is symmetric (H = Hᵀ), so reusing the left application is exact.
   for (std::size_t k = frozen_steps_; k-- > 0;) {
     const std::size_t off = k * nb_;
-    apply_reflectors_left_reverse(a_.block(off, off, n - off, nb_), taus_[k],
-                                  out.block(off, 0, n - off, out.cols()));
+    MatrixView target = out.block(off, 0, n - off, out.cols());
+    if (wy_[k] &&
+        qr_apply_uses_blocked_path(n - off, out.cols(), taus_[k].size()))
+      wy_[k]->apply_left_reverse(target);
+    else
+      apply_reflectors_left_reverse(a_.block(off, off, n - off, nb_),
+                                    taus_[k], target);
   }
   return out;
 }

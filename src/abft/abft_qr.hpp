@@ -11,11 +11,14 @@
 /// migrates from the active to the frozen accumulator. The tau coefficients
 /// are metadata replicated on the reliable rank.
 
+#include <memory>
 #include <vector>
 
 #include "abft/checksum.hpp"
 
 namespace abftc::abft {
+
+class CompactWy;
 
 class AbftQr {
  public:
@@ -27,6 +30,7 @@ class AbftQr {
   /// A must be square (m = n kept for grid symmetry), dimension a multiple
   /// of nb, block count a multiple of the grid columns.
   AbftQr(Matrix a, std::size_t nb, ProcessGrid grid);
+  ~AbftQr();  // out-of-line: wy_ holds the forward-declared CompactWy
 
   void factor(const std::vector<Fault>& faults = {});
 
@@ -46,6 +50,12 @@ class AbftQr {
   }
   [[nodiscard]] std::size_t block_steps() const noexcept { return nbk_; }
 
+  /// Release the cached compact-WY operators; subsequent Q applications
+  /// rebuild V/T from the stored factors per panel (the pre-cache code
+  /// path). For memory pressure and for the bitwise cache-vs-rebuild
+  /// agreement tests. Results are unaffected.
+  void drop_wy_cache() noexcept;
+
  private:
   void step(std::size_t k);
   void recover_rank(std::size_t k, std::size_t dead_rank);
@@ -53,6 +63,14 @@ class AbftQr {
   Matrix a_;
   Matrix active_cs_, frozen_cs_;  // n × (groups·nb)
   std::vector<std::vector<double>> taus_;  // one vector per block step
+  /// Per-panel compact-WY operators cached at factor time (built once for
+  /// the trailing update, reused by apply_q / apply_q_transpose instead of
+  /// re-running form_t per application). Entry k is null when panel k never
+  /// took the blocked path, and is invalidated when a recovery rewrites
+  /// that frozen block column (the recovered V is checksum-reconstructed,
+  /// not bitwise the original, so the cache must be rebuilt to stay
+  /// agreement-exact with the uncached dispatch).
+  std::vector<std::unique_ptr<CompactWy>> wy_;
   std::size_t nb_, nbk_;
   std::size_t frozen_steps_ = 0;  ///< block columns 0..frozen_steps_-1 frozen
   ProcessGrid grid_;

@@ -37,6 +37,13 @@ struct KernelPolicy {
   /// (default) or legacy spawn-per-call threads (benches A/B the two;
   /// results are bitwise identical either way).
   common::Dispatch dispatch = common::Dispatch::Pool;
+  /// NUMA opt-in: pin executor workers round-robin across the machine's
+  /// nodes and place GEMM packing node-locally (each worker's A-panel
+  /// scratch is first-touched on its own node; the packed B panel is
+  /// replicated once per node instead of read cross-socket). Single-node
+  /// machines and the Spawn dispatch ignore it. Placement never changes
+  /// results — only where buffers live.
+  bool numa_pin = false;
 };
 
 /// The worker count `p.threads` resolves to (cached hardware concurrency

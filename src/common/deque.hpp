@@ -1,0 +1,132 @@
+#pragma once
+/// \file deque.hpp
+/// A bounded lock-free work-stealing deque (Chase–Lev) — the per-worker
+/// queue behind the executor's dynamic scheduler. The owning thread pushes
+/// and pops at the *bottom* (LIFO, cache-warm work stays with its producer);
+/// any other thread steals from the *top* (FIFO, thieves take the oldest —
+/// for loop chunks that is the work farthest from what the owner touches
+/// next). The memory-order discipline follows Lê, Pop, Cohen & Zappa
+/// Nardelli, "Correct and Efficient Work-Stealing for Weakly Ordered Memory
+/// Models" (PPoPP'13), with one deliberate strengthening: the cross-thread
+/// orderings that the paper carries on standalone fences are carried here on
+/// the `bottom`/`top` operations themselves (seq_cst), because standalone
+/// `atomic_thread_fence` is invisible to ThreadSanitizer and this deque is
+/// CI-gated under TSan. On x86 the cost is one locked instruction in `pop`,
+/// which the scheduler amortizes over a whole chunk of loop body.
+///
+/// The array is *bounded* by design (no Chase–Lev growth protocol): the
+/// executor sizes each deque for the worst case it can enqueue (a loop's
+/// chunk count, a task-group burst) and falls back to the shared queue or to
+/// inline execution when `push` reports full — simpler to reason about, and
+/// the overflow path is the pre-existing, mutex-protected one.
+///
+/// Ownership contract: exactly one thread may call push()/pop() over the
+/// deque's lifetime *at a time* (ownership may migrate between threads only
+/// through an external happens-before edge, e.g. the executor's job queue);
+/// steal() is safe from any thread concurrently with everything else.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace abftc::common {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque elements are copied through std::atomic slots");
+
+ public:
+  /// `capacity` is rounded up to a power of two (index masking). The deque
+  /// holds at most that many elements; push() reports overflow, it never
+  /// blocks or reallocates.
+  explicit WsDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::vector<std::atomic<T>>(cap);
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Elements currently in the deque, as a racy estimate — exact only when
+  /// no concurrent operation is in flight. Thieves use it to size a
+  /// steal-half batch; staleness only mis-sizes the batch.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  /// Owner only. False when the array is full (caller overflows elsewhere).
+  bool push(T v) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > static_cast<std::int64_t>(mask_)) return false;
+    slots_[static_cast<std::size_t>(b) & mask_].store(
+        v, std::memory_order_relaxed);
+    // Publish the slot before the new bottom: a thief that observes b+1
+    // must observe the element (release pairs with the thief's acquire).
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. Empty optional when the deque is drained.
+  std::optional<T> pop() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // seq_cst store: the reservation of slot b must be globally ordered
+    // before the top_ read below, so a concurrent thief and the owner
+    // cannot both claim the last element (this is the fence in the paper).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T v = slots_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race a pending thief for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // Thief won; the deque is empty.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return v;
+  }
+
+  /// Any thread. Empty optional when the deque looks empty *or* the CAS
+  /// lost a race (callers treat both as "try the next victim"; use
+  /// approx_size() beforehand to count a lost race as a steal failure).
+  std::optional<T> steal() noexcept {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return std::nullopt;
+    T v = slots_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return std::nullopt;
+    return v;
+  }
+
+ private:
+  // top_ only grows (thief side); bottom_ moves both ways (owner side).
+  // int64 indices never wrap in practice, so there is no ABA on the CAS.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<T>> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace abftc::common

@@ -11,4 +11,25 @@ namespace abftc::common {
 /// as a determinism cross-check (results are bitwise identical either way).
 enum class Dispatch { Pool, Spawn };
 
+/// How a loop's index space reaches its participants.
+///
+///   * `Static`  — the shared atomic-cursor fast path: contiguous chunks
+///                 claimed in index order off one cursor. Lowest dispatch
+///                 cost; ideal when per-index cost is uniform (checksums,
+///                 packed-GEMM row panels, sweep grids). This is what
+///                 `parallel_for` does.
+///   * `Stealing` — per-participant Chase–Lev deques with steal-half load
+///                 balancing: each participant owns a contiguous share and
+///                 thieves re-split the laggard's remainder. Tolerates
+///                 wildly non-uniform per-index cost (fault-injection
+///                 campaigns, compaction, panel DAGs) at a slightly higher
+///                 setup cost. This is what `parallel_for_dynamic` does.
+///
+/// Decision rule: uniform loop shape -> Static; unknown or heavy-tailed
+/// per-index cost -> Stealing. Both execute every index exactly once, so
+/// any loop whose output cells are owned by a single index is bitwise
+/// deterministic under either schedule; only Static additionally fixes the
+/// claim *order*, which no current caller depends on.
+enum class Schedule { Static, Stealing };
+
 }  // namespace abftc::common

@@ -35,12 +35,34 @@
 /// attempted. (The old implementation kept attempting every index; no caller
 /// relied on that, and abandoning doomed work is what you want for loops
 /// with per-index side effects guarded by their own invariants.)
+///
+/// Hybrid scheduling (PR 6): the shared-cursor path above stays the fast
+/// path for uniform loops; `parallel_for_dynamic` adds a work-stealing
+/// schedule for irregular ones — per-participant Chase–Lev deques
+/// (common/deque.hpp) seeded with contiguous shares, idle participants
+/// stealing half of a laggard's remainder. Tasks submitted from a pool
+/// worker likewise go to that worker's own deque (peers steal), so task
+/// DAGs that fan out from inside the pool load-balance without bouncing on
+/// the shared-queue mutex. Both scheduling paths share the nesting
+/// arbitration, caller participation, and first-exception contracts; only
+/// the *claim order* differs — see Schedule in dispatch.hpp for the
+/// decision rule and the determinism fine print.
+///
+/// NUMA (opt-in): `set_worker_pinning(true)` pins workers round-robin
+/// across the nodes of common::Topology::system() (sched_setaffinity; a
+/// failed pin degrades to unpinned). Pinning changes *where* a worker runs,
+/// never *what* it computes — every determinism guarantee above is
+/// unaffected — but it gives first-touch allocations inside workers (the
+/// GEMM packing buffers) a stable home node. `current_numa_node()` exposes
+/// the calling worker's node for placement decisions.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 #include "common/dispatch.hpp"
 
@@ -58,7 +80,33 @@ using RawLoopFn = void (*)(void* ctx, std::size_t i);
 void parallel_for_impl(std::size_t n, RawLoopFn fn, void* ctx,
                        unsigned threads, Dispatch dispatch = Dispatch::Pool);
 
+/// Dispatcher behind `parallel_for_dynamic`: the work-stealing schedule on
+/// the global executor (serial fallback under the same conditions as the
+/// static path).
+void parallel_for_dynamic_impl(std::size_t n, RawLoopFn fn, void* ctx,
+                               unsigned threads, std::size_t grain);
+
 }  // namespace detail
+
+/// Scheduler activity counters, all monotonically increasing over an
+/// executor's lifetime (relaxed atomics — totals are exact once the counted
+/// activity has quiesced, racy-fresh while it runs).
+struct ExecutorCounters {
+  std::uint64_t chunks_claimed = 0;  ///< loop chunks executed (both schedules)
+  std::uint64_t tasks_stolen = 0;    ///< deque entries taken from a victim
+  std::uint64_t steal_failures = 0;  ///< steal attempts that found nothing
+  std::uint64_t parks = 0;           ///< worker went to sleep on the condvar
+  std::uint64_t unparks = 0;         ///< worker woke from the condvar
+};
+
+/// Snapshot of an executor's per-worker counters (index = worker id, in
+/// creation order) plus one row for non-worker participants (loop callers),
+/// and the sum of all rows.
+struct ExecutorStats {
+  ExecutorCounters total;
+  ExecutorCounters callers;
+  std::vector<ExecutorCounters> per_worker;
+};
 
 /// A handle on a pool of persistent workers. Almost every caller wants the
 /// process-wide `Executor::global()` (which `parallel_for` uses); explicit
@@ -91,6 +139,21 @@ class Executor {
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn, unsigned threads = 0);
 
+  /// Run `fn(ctx, i)` for i in [0, n) under the work-stealing schedule
+  /// (Schedule::Stealing): participants own contiguous shares in per-worker
+  /// deques and idle participants steal half of a victim's remainder. Use
+  /// for loops with non-uniform per-index cost; `grain` indices form one
+  /// steal unit (0 = automatic). Same caller-participation, nesting, and
+  /// first-exception contracts as run_loop; index *claim order* is
+  /// scheduling-dependent (see Schedule).
+  void run_loop_dynamic(std::size_t n, detail::RawLoopFn fn, void* ctx,
+                        unsigned threads, std::size_t grain = 0);
+
+  /// Type-safe irregular loop on this executor (see run_loop_dynamic).
+  template <typename Fn>
+  void parallel_for_dynamic(std::size_t n, Fn&& fn, unsigned threads = 0,
+                            std::size_t grain = 0);
+
   /// Run `f()` on a pool worker; the returned future carries its result or
   /// exception. Falls back to inline execution when this executor cannot
   /// create workers. Tasks run at nesting depth >= 1, so loops they issue
@@ -102,6 +165,25 @@ class Executor {
   [[nodiscard]] unsigned spawned_helpers() const noexcept;
   /// The cap `max_helpers` resolved to at construction.
   [[nodiscard]] unsigned max_helpers() const noexcept;
+
+  /// Snapshot the scheduler counters (chunks claimed, steals, steal
+  /// failures, park/unpark transitions), per worker plus the caller row.
+  [[nodiscard]] ExecutorStats stats() const;
+
+  /// Opt in to (or out of) NUMA placement: when enabled, worker i is pinned
+  /// to the CPUs of Topology::system() node i % node_count — round-robin
+  /// across sockets, applied to existing workers at their next wakeup and
+  /// to new workers at creation. A failed pin (unsupported platform,
+  /// restricted affinity mask) silently leaves that worker unpinned.
+  /// Placement never changes results, only locality.
+  void set_worker_pinning(bool enabled) noexcept;
+  [[nodiscard]] bool worker_pinning() const noexcept;
+
+  /// The NUMA node the calling thread was pinned to by this facility
+  /// (0 for unpinned threads and external callers) — what first-touch
+  /// allocations on this thread will be local to, used by the GEMM packing
+  /// layer to pick the node-local B-panel copy.
+  [[nodiscard]] static unsigned current_numa_node() noexcept;
 
   /// True on a thread currently executing parallel work (a pool worker
   /// running a chunk or task, a spawned loop worker, or a caller running
@@ -166,6 +248,26 @@ void parallel_for(std::size_t n, Fn&& fn, unsigned threads = 0,
   }
 }
 
+/// Run `fn(i)` for i in [0, n) under the work-stealing schedule on the
+/// global executor — the entry point for loops whose per-index cost is
+/// irregular (see Schedule in dispatch.hpp for the decision rule). Executes
+/// every index exactly once with the same exception and nesting contracts
+/// as `parallel_for`; only the claim order is scheduling-dependent.
+template <typename Fn>
+void parallel_for_dynamic(std::size_t n, Fn&& fn, unsigned threads = 0,
+                          std::size_t grain = 0) {
+  using F = std::remove_reference_t<Fn>;
+  if constexpr (std::is_function_v<F>) {
+    auto wrapper = [fp = &fn](std::size_t i) { fp(i); };
+    parallel_for_dynamic(n, wrapper, threads, grain);
+  } else {
+    detail::parallel_for_dynamic_impl(
+        n, [](void* ctx, std::size_t i) { (*static_cast<F*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        threads, grain);
+  }
+}
+
 template <typename Fn>
 void Executor::parallel_for(std::size_t n, Fn&& fn, unsigned threads) {
   using F = std::remove_reference_t<Fn>;
@@ -177,6 +279,20 @@ void Executor::parallel_for(std::size_t n, Fn&& fn, unsigned threads) {
   run_loop(n, raw,
            const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
            threads);
+}
+
+template <typename Fn>
+void Executor::parallel_for_dynamic(std::size_t n, Fn&& fn, unsigned threads,
+                                    std::size_t grain) {
+  using F = std::remove_reference_t<Fn>;
+  static_assert(!std::is_function_v<F>,
+                "wrap plain functions in a lambda for parallel_for_dynamic");
+  detail::RawLoopFn raw = [](void* ctx, std::size_t i) {
+    (*static_cast<F*>(ctx))(i);
+  };
+  run_loop_dynamic(
+      n, raw, const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+      threads, grain);
 }
 
 template <typename F>

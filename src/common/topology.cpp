@@ -1,0 +1,157 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace abftc::common {
+
+namespace {
+
+/// `nodeN` directory name -> N; false for anything else.
+bool node_index_of(const std::string& name, unsigned& out) {
+  if (name.rfind("node", 0) != 0 || name.size() == 4) return false;
+  unsigned v = 0;
+  for (std::size_t i = 4; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+std::mutex g_override_mutex;
+std::shared_ptr<const Topology> g_override;  // guarded by g_override_mutex
+
+}  // namespace
+
+std::vector<unsigned> parse_cpulist(const std::string& s) {
+  std::vector<unsigned> cpus;
+  std::size_t i = 0;
+  const auto read_number = [&](unsigned& out) {
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    unsigned v = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+      v = v * 10 + static_cast<unsigned>(s[i++] - '0');
+    out = v;
+    return true;
+  };
+  while (i < s.size()) {
+    unsigned lo = 0;
+    if (!read_number(lo)) {
+      ++i;  // skip separators, whitespace, and malformed fragments
+      continue;
+    }
+    unsigned hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!read_number(hi)) hi = lo;
+    }
+    for (unsigned c = lo; c <= hi && hi - lo < 4096; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology Topology::from_nodes(std::vector<NumaNode> nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+  Topology t;
+  t.nodes_ = std::move(nodes);
+  if (t.nodes_.empty()) return fallback_single_node();
+  return t;
+}
+
+Topology Topology::fallback_single_node() {
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  NumaNode n;
+  n.id = 0;
+  n.cpus.reserve(hc);
+  for (unsigned c = 0; c < hc; ++c) n.cpus.push_back(c);
+  Topology t;
+  t.nodes_.push_back(std::move(n));
+  return t;
+}
+
+Topology Topology::parse_sysfs(const std::string& node_dir) {
+  namespace fs = std::filesystem;
+  std::vector<NumaNode> nodes;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(node_dir, ec)) {
+    if (ec) break;
+    unsigned id = 0;
+    if (!node_index_of(entry.path().filename().string(), id)) continue;
+    std::ifstream cpulist(entry.path() / "cpulist");
+    if (!cpulist) continue;
+    std::string line;
+    std::getline(cpulist, line);
+    NumaNode node;
+    node.id = id;
+    node.cpus = parse_cpulist(line);
+    if (!node.cpus.empty()) nodes.push_back(std::move(node));
+  }
+  if (nodes.empty()) return fallback_single_node();
+  return from_nodes(std::move(nodes));
+}
+
+std::shared_ptr<const Topology> Topology::system() {
+  {
+    std::lock_guard lock(g_override_mutex);
+    if (g_override) return g_override;
+  }
+  static const std::shared_ptr<const Topology> detected =
+      std::make_shared<const Topology>(
+          parse_sysfs("/sys/devices/system/node"));
+  return detected;
+}
+
+void Topology::set_system_for_testing(std::shared_ptr<const Topology> t) {
+  std::lock_guard lock(g_override_mutex);
+  g_override = std::move(t);
+}
+
+bool pin_current_thread_to_cpus(const std::vector<unsigned>& cpus) noexcept {
+#if defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (const unsigned c : cpus) {
+    if (c >= CPU_SETSIZE) continue;
+    CPU_SET(static_cast<int>(c), &set);
+    any = true;
+  }
+  if (!any) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+bool unpin_current_thread() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const long n = sysconf(_SC_NPROCESSORS_CONF);
+  const int limit = std::min<long>(n > 0 ? n : 1, CPU_SETSIZE);
+  for (int c = 0; c < limit; ++c) CPU_SET(c, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace abftc::common

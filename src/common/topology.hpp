@@ -1,0 +1,80 @@
+#pragma once
+/// \file topology.hpp
+/// Minimal NUMA topology discovery and thread placement — parsed straight
+/// from `/sys/devices/system/node` (no hwloc dependency). The executor uses
+/// it to pin workers round-robin across nodes, and the blocked-GEMM packing
+/// layer uses it to decide how many node-local copies of the packed B panel
+/// to keep. Every consumer must behave identically on a single-node machine
+/// (the graceful fallback when the sysfs tree is missing, unreadable, or
+/// reports one node): one node owning every hardware CPU, no pinning
+/// side effects, no replicated buffers.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace abftc::common {
+
+/// One NUMA node: its sysfs id and the CPUs it owns, ascending.
+struct NumaNode {
+  unsigned id = 0;
+  std::vector<unsigned> cpus;
+};
+
+class Topology {
+ public:
+  /// Nodes ascending by id; never empty (a fallback Topology has one node).
+  [[nodiscard]] const std::vector<NumaNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] unsigned node_count() const noexcept {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  [[nodiscard]] const NumaNode& node(std::size_t i) const {
+    return nodes_.at(i);
+  }
+  [[nodiscard]] bool single_node() const noexcept {
+    return nodes_.size() <= 1;
+  }
+
+  /// Parse a sysfs node directory (`/sys/devices/system/node` layout:
+  /// `node<N>/cpulist` files). Returns the single-node fallback when the
+  /// directory is missing, holds no node entries, or no cpulist is
+  /// readable — never throws on malformed systems.
+  [[nodiscard]] static Topology parse_sysfs(const std::string& node_dir);
+
+  /// One node 0 owning CPUs [0, hardware_concurrency).
+  [[nodiscard]] static Topology fallback_single_node();
+
+  /// The machine topology: `parse_sysfs("/sys/devices/system/node")`,
+  /// detected once and cached — unless a test override is installed.
+  /// Returned as a shared_ptr so a concurrently swapped override can never
+  /// invalidate a reader's snapshot.
+  [[nodiscard]] static std::shared_ptr<const Topology> system();
+
+  /// Test hook: make system() return `t` (nullptr restores detection).
+  /// Lets single-node CI exercise the multi-node code paths with a fake
+  /// topology whose "nodes" alias real CPUs.
+  static void set_system_for_testing(std::shared_ptr<const Topology> t);
+
+  /// Build a topology from explicit nodes (tests, fallback).
+  static Topology from_nodes(std::vector<NumaNode> nodes);
+
+ private:
+  std::vector<NumaNode> nodes_;
+};
+
+/// Parse a sysfs cpulist string ("0-3,8,10-11") into ascending CPU ids.
+/// Malformed fragments are skipped (never throws).
+[[nodiscard]] std::vector<unsigned> parse_cpulist(const std::string& s);
+
+/// Pin the calling thread to exactly `cpus`. False when unsupported on this
+/// platform, the list is empty, or the syscall fails — callers treat a
+/// failed pin as "run unpinned", never as an error.
+bool pin_current_thread_to_cpus(const std::vector<unsigned>& cpus) noexcept;
+
+/// Undo pinning: allow the calling thread on every CPU the process may use.
+bool unpin_current_thread() noexcept;
+
+}  // namespace abftc::common

@@ -27,6 +27,9 @@ double metric_value(const EvalResult& r, Metric m) noexcept {
     case Metric::AbftActive: return r.abft_active ? 1.0 : 0.0;
     case Metric::WasteStderr: return r.waste_stderr;
     case Metric::Lost: return r.lost;
+    case Metric::WasteP50: return r.waste_p50;
+    case Metric::WasteP95: return r.waste_p95;
+    case Metric::WasteP99: return r.waste_p99;
   }
   return 0.0;
 }
@@ -42,6 +45,9 @@ std::string_view to_string(Metric m) noexcept {
     case Metric::AbftActive: return "abft_active";
     case Metric::WasteStderr: return "waste_stderr";
     case Metric::Lost: return "lost";
+    case Metric::WasteP50: return "waste_p50";
+    case Metric::WasteP95: return "waste_p95";
+    case Metric::WasteP99: return "waste_p99";
   }
   return "?";
 }
@@ -81,7 +87,9 @@ class MonteCarloSim final : public Evaluator {
   }
   [[nodiscard]] EvalResult evaluate(Protocol p, const ScenarioParams& s,
                                     const EvalContext& ctx) const override {
-    const MonteCarloResult r = monte_carlo(p, s, ctx.model, ctx.mc);
+    MonteCarloOptions mc = ctx.mc;
+    if (ctx.quantile_hist_bins > 0) mc.collect_waste_sample = true;
+    const MonteCarloResult r = monte_carlo(p, s, ctx.model, mc);
     EvalResult out;
     out.valid = r.plan_valid;
     out.diverged = !r.plan_valid;
@@ -91,6 +99,26 @@ class MonteCarloSim final : public Evaluator {
       out.failures = r.failures.mean();
       out.waste_stderr = r.waste.stderr_mean();
       out.lost = r.lost_time.mean();
+      if (ctx.quantile_hist_bins > 0 && !r.waste_sample.empty()) {
+        // The stored sample is replicate-ordered (scheduling-independent);
+        // sorted quantiles and bin counts are therefore deterministic for
+        // any worker count.
+        common::Sample sample;
+        sample.reserve(r.waste_sample.size());
+        common::Histogram hist(0.0, 1.0, ctx.quantile_hist_bins);
+        for (const double w : r.waste_sample) {
+          sample.add(w);
+          hist.add(w);
+        }
+        out.waste_p50 = sample.quantile(0.50);
+        out.waste_p95 = sample.quantile(0.95);
+        out.waste_p99 = sample.quantile(0.99);
+        out.waste_hist.reserve(hist.bins());
+        const double total = static_cast<double>(r.waste_sample.size());
+        for (std::size_t b = 0; b < hist.bins(); ++b)
+          out.waste_hist.push_back(
+              static_cast<double>(hist.bin_count(b)) / total);
+      }
     }
     return out;
   }
@@ -186,6 +214,8 @@ std::vector<Series> cross_series(const std::vector<Protocol>& protocols,
 void ExperimentSpec::validate() const {
   ABFTC_REQUIRE(!name.empty(), "experiment needs a name");
   ABFTC_REQUIRE(!series.empty(), "experiment needs at least one series");
+  ABFTC_REQUIRE(!emit_quantiles || quantile_hist_bins > 0,
+                "quantile emission needs at least one histogram bin");
   sweep.validate();
   for (const auto& s : series) {
     ABFTC_REQUIRE(!s.label.empty(), "series needs a label");
@@ -336,9 +366,17 @@ SinkHeader Experiment::header_for(const ExperimentSpec& spec) {
   if (spec.emit_thread_meta)
     h.resolved_threads = common::effective_threads(spec.threads);
   for (const auto& axis : spec.sweep.axes) h.columns.push_back(axis.name);
-  for (const auto& s : spec.series)
+  for (const auto& s : spec.series) {
     for (const Metric m : kSinkMetrics)
       h.columns.push_back(s.label + "." + std::string(to_string(m)));
+    if (spec.emit_quantiles) {
+      for (const Metric m :
+           {Metric::WasteP50, Metric::WasteP95, Metric::WasteP99})
+        h.columns.push_back(s.label + "." + std::string(to_string(m)));
+      for (std::size_t b = 0; b < spec.quantile_hist_bins; ++b)
+        h.columns.push_back(s.label + ".waste_hist_" + std::to_string(b));
+    }
+  }
   return h;
 }
 
@@ -382,6 +420,8 @@ ExperimentResult Experiment::run() const {
         rec.series.reserve(n_series);
         for (std::size_t si = 0; si < n_series; ++si) {
           EvalContext ctx{spec_.series[si].model, spec_.series[si].mc};
+          if (spec_.emit_quantiles)
+            ctx.quantile_hist_bins = spec_.quantile_hist_bins;
           // 0 means "auto": give the evaluator the leftover thread budget.
           // An explicit Series-level thread count is honoured as-is.
           if (ctx.mc.threads == 0) ctx.mc.threads = inner_threads;
@@ -401,8 +441,20 @@ ExperimentResult Experiment::run() const {
       values.clear();
       values.insert(values.end(), cell.axis_values.begin(),
                     cell.axis_values.end());
-      for (const auto& r : cell.series)
+      for (const auto& r : cell.series) {
         for (const Metric m : kSinkMetrics) values.push_back(metric_value(r, m));
+        if (spec_.emit_quantiles) {
+          for (const Metric m :
+               {Metric::WasteP50, Metric::WasteP95, Metric::WasteP99})
+            values.push_back(metric_value(r, m));
+          // Histogram bins; series without a sample (model) pad with NaN,
+          // which the JSON sink renders as null like the quantiles.
+          for (std::size_t b = 0; b < spec_.quantile_hist_bins; ++b)
+            values.push_back(b < r.waste_hist.size()
+                                 ? r.waste_hist[b]
+                                 : std::numeric_limits<double>::quiet_NaN());
+        }
+      }
       for (ResultSink* sink : sinks_) sink->row(header, values);
     }
     for (ResultSink* sink : sinks_) sink->end(header);

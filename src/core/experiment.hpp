@@ -17,6 +17,7 @@
 /// itself and being named in a Series.
 
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -47,6 +48,16 @@ struct EvalResult {
   bool bi_stream = false;
   double waste_stderr = 0.0;  ///< sim: standard error of the waste mean
   double lost = 0.0;          ///< sim: mean lost time per run
+
+  /// Waste quantiles over the Monte-Carlo replicates (sim-only, and only
+  /// when the spec opts into quantile emission). NaN = not computed — the
+  /// JSON sink renders that as null, which is what the model series show.
+  double waste_p50 = std::numeric_limits<double>::quiet_NaN();
+  double waste_p95 = std::numeric_limits<double>::quiet_NaN();
+  double waste_p99 = std::numeric_limits<double>::quiet_NaN();
+  /// Fixed-bin waste histogram over [0, 1], normalized to fractions of the
+  /// replicate count; empty when not computed.
+  std::vector<double> waste_hist;
 };
 
 /// Named metric accessor, for generic renderers and sinks.
@@ -60,6 +71,9 @@ enum class Metric {
   AbftActive,  ///< 1.0 / 0.0
   WasteStderr,
   Lost,
+  WasteP50,
+  WasteP95,
+  WasteP99,
 };
 
 [[nodiscard]] double metric_value(const EvalResult& r, Metric m) noexcept;
@@ -69,6 +83,11 @@ enum class Metric {
 struct EvalContext {
   ModelOptions model;
   MonteCarloOptions mc;
+  /// Non-zero: compute waste_p50/p95/p99 and a histogram with this many
+  /// bins over the replicate sample (sim evaluator; forces
+  /// mc.collect_waste_sample). Set by Experiment::run() from
+  /// ExperimentSpec::emit_quantiles.
+  std::size_t quantile_hist_bins = 0;
 };
 
 /// A protocol-evaluation backend. Implementations must be thread-safe:
@@ -141,6 +160,13 @@ struct ExperimentSpec {
   /// metadata. Off by default so BENCH_*.json artifacts stay byte-identical
   /// across worker counts (and to their pre-executor shape).
   bool emit_thread_meta = false;
+  /// Opt-in tail metrics: append waste_p50/p95/p99 and a fixed-bin waste
+  /// histogram (quantile_hist_bins columns, fractions of replicates in
+  /// [b/bins, (b+1)/bins)) per series to every sink row, computed over the
+  /// Monte-Carlo replicate sample. Off by default so existing BENCH_*.json
+  /// artifacts stay byte-identical; model series emit null (no sample).
+  bool emit_quantiles = false;
+  std::size_t quantile_hist_bins = 8;
 
   void validate() const;
 };

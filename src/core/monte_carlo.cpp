@@ -56,6 +56,10 @@ MonteCarloResult monte_carlo(Protocol p, const ScenarioParams& s,
 
   const common::Rng base(opt.seed);
   std::mutex merge_mutex;
+  // Preallocated disjoint slots: replicate `rep` writes waste_sample[rep]
+  // and nothing else, so the stored sample is deterministic regardless of
+  // how chunks land on workers (no merge order to get wrong).
+  if (opt.collect_waste_sample) out.waste_sample.resize(opt.replicates);
 
   // Chunk replicates so each worker merges locally before taking the lock.
   const unsigned workers = common::effective_threads(opt.threads);
@@ -76,6 +80,7 @@ MonteCarloResult monte_carlo(Protocol p, const ScenarioParams& s,
           local.t_final.add(r.t_final);
           local.failures.add(static_cast<double>(r.failures));
           local.lost_time.add(r.breakdown.lost);
+          if (opt.collect_waste_sample) out.waste_sample[rep] = r.waste();
         }
         std::lock_guard lock(merge_mutex);
         out.waste.merge(local.waste);

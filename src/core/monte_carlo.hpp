@@ -31,6 +31,10 @@ struct MonteCarloOptions {
   /// Simulate per-node failure sources instead of one aggregate stream
   /// (equivalent for Exponential; differs for the other distributions).
   bool per_node = false;
+
+  /// Keep every replicate's waste (for quantiles/histograms downstream).
+  /// Off by default: the sample is replicates × 8 bytes per evaluation.
+  bool collect_waste_sample = false;
 };
 
 struct MonteCarloResult {
@@ -39,6 +43,10 @@ struct MonteCarloResult {
   common::RunningStats failures;
   common::RunningStats lost_time;  ///< breakdown.lost per run
   bool plan_valid = true;          ///< false: infeasible (diverged) plan
+  /// Per-replicate waste in replicate order (so independent of the worker
+  /// count and of chunk scheduling); empty unless
+  /// MonteCarloOptions::collect_waste_sample.
+  std::vector<double> waste_sample;
 };
 
 /// Run `opt.replicates` simulations of protocol `p` on scenario `s`.

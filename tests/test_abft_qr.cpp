@@ -163,6 +163,58 @@ TEST(AbftQr, ApplyQRoundTripUnderBlockedPolicy) {
   EXPECT_LT(abft::max_abs_diff(round_trip, probe), 1e-10);
 }
 
+// The cached per-panel compact-WY operators must be invisible in the
+// results: applying Q / Qᵀ through the cache (populated at factor time)
+// has to agree bitwise with the rebuild path, which re-derives V/T from
+// the stored factors on every application — the pre-cache behavior,
+// reachable via drop_wy_cache().
+TEST(AbftQr, CachedWyBitwiseMatchesRebuiltApplication) {
+  const std::size_t n = 96, nb = 16;
+  const Matrix a = rnd(n, 77);
+  const Matrix probe = rnd(n, 78);
+  abft::KernelPolicyGuard guard({abft::KernelPath::blocked, 2});
+
+  AbftQr cached(a, nb, ProcessGrid{2, 2});
+  cached.factor();
+  AbftQr rebuilt(a, nb, ProcessGrid{2, 2});
+  rebuilt.factor();
+  // Same input, same policy: both factorizations are bitwise identical.
+  EXPECT_EQ(abft::max_abs_diff(cached.qr(), rebuilt.qr()), 0.0);
+  rebuilt.drop_wy_cache();
+
+  EXPECT_EQ(abft::max_abs_diff(cached.apply_q_transpose(probe),
+                               rebuilt.apply_q_transpose(probe)),
+            0.0);
+  EXPECT_EQ(
+      abft::max_abs_diff(cached.apply_q(probe), rebuilt.apply_q(probe)),
+      0.0);
+}
+
+// After a recovery rewrote a frozen block column, the invalidated cache
+// entry must make the instance behave exactly like the rebuild path again
+// (the reconstructed V differs from the original, so a stale cache would
+// silently apply pre-fault reflectors).
+TEST(AbftQr, RecoveryInvalidatedCacheMatchesRebuild) {
+  const std::size_t n = 96, nb = 16;
+  const Matrix a = rnd(n, 79);
+  const Matrix probe = rnd(n, 80);
+  abft::KernelPolicyGuard guard({abft::KernelPath::blocked, 2});
+
+  const std::vector<AbftQr::Fault> faults = {{4, 1}};
+  AbftQr faulted(a, nb, ProcessGrid{2, 2});
+  faulted.factor(faults);
+  AbftQr faulted_nocache(a, nb, ProcessGrid{2, 2});
+  faulted_nocache.factor(faults);
+  faulted_nocache.drop_wy_cache();
+
+  EXPECT_EQ(abft::max_abs_diff(faulted.apply_q_transpose(probe),
+                               faulted_nocache.apply_q_transpose(probe)),
+            0.0);
+  EXPECT_EQ(abft::max_abs_diff(faulted.apply_q(probe),
+                               faulted_nocache.apply_q(probe)),
+            0.0);
+}
+
 TEST(AbftQr, RejectsGridMisalignment) {
   // 96/8 = 12 block cols; pcols = 5 does not divide 12.
   EXPECT_THROW(AbftQr(rnd(96), 8, ProcessGrid{2, 5}),

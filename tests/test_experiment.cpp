@@ -243,6 +243,67 @@ TEST(Experiment, TableAndCsvSinksEmitAllRows) {
   EXPECT_EQ(c.rfind("alpha,mtbf_min,model_pure.waste", 0), 0u);
 }
 
+TEST(Experiment, QuantileColumnsAreOptIn) {
+  // Default spec: no tail-metric columns — existing artifacts unchanged.
+  std::ostringstream default_os;
+  {
+    core::JsonSink sink(default_os);
+    core::Experiment experiment(small_fig7_spec(1));
+    experiment.add_sink(sink);
+    (void)experiment.run();
+  }
+  EXPECT_EQ(default_os.str().find("waste_p50"), std::string::npos);
+  EXPECT_EQ(default_os.str().find("waste_hist"), std::string::npos);
+
+  core::ExperimentSpec spec = small_fig7_spec(1);
+  spec.emit_quantiles = true;
+  spec.quantile_hist_bins = 4;
+  std::ostringstream os;
+  core::JsonSink sink(os);
+  core::Experiment experiment(std::move(spec));
+  experiment.add_sink(sink);
+  const auto result = experiment.run();
+
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"sim_pure.waste_p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_pure.waste_hist_3\""), std::string::npos);
+  // Model series carry the columns but no sample: rendered as null.
+  EXPECT_NE(json.find("\"model_pure.waste_p50\": null"), std::string::npos);
+
+  const auto& sim = result.cells[0].series[result.series_index("sim_pure")];
+  EXPECT_TRUE(std::isfinite(sim.waste_p50));
+  EXPECT_LE(sim.waste_p50, sim.waste_p95);
+  EXPECT_LE(sim.waste_p95, sim.waste_p99);
+  ASSERT_EQ(sim.waste_hist.size(), 4u);
+  double mass = 0.0;
+  for (const double f : sim.waste_hist) mass += f;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+
+  const auto& model =
+      result.cells[0].series[result.series_index("model_pure")];
+  EXPECT_TRUE(std::isnan(model.waste_p50));
+  EXPECT_TRUE(model.waste_hist.empty());
+}
+
+TEST(Experiment, QuantileJsonInvariantUnderThreadCount) {
+  std::string outputs[2];
+  const unsigned thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    core::ExperimentSpec spec = small_fig7_spec(thread_counts[i]);
+    spec.emit_quantiles = true;
+    std::ostringstream os;
+    core::JsonSink sink(os);
+    core::Experiment experiment(std::move(spec));
+    experiment.add_sink(sink);
+    (void)experiment.run();
+    outputs[i] = os.str();
+  }
+  EXPECT_FALSE(outputs[0].empty());
+  EXPECT_EQ(outputs[0], outputs[1])
+      << "quantiles are computed from the replicate-ordered sample and must "
+         "not depend on the worker count";
+}
+
 TEST(Experiment, ModelMatchesSimOnFigure7DefaultCell) {
   // Figure 7 operating point: MTBF = 2 h, alpha = 0.8. The paper reports
   // |WASTE_simul - WASTE_model| < 0.05 away from the smallest-MTBF column.
