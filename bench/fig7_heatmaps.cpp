@@ -11,6 +11,7 @@
 ///
 /// Flags: --reps=N (default 200), --mtbf-step=20, --alpha-step=0.1,
 ///        --threads=0 (grid-cell parallelism; 0 = hardware concurrency),
+///        --seed=N (Monte-Carlo root seed; same seed = same replicates),
 ///        --csv (emit CSV blocks after the tables),
 ///        --json[=PATH] (write the BENCH_fig7.json result sink)
 
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   const double alpha_step = args.get_double("alpha-step", 0.1);
   const bool csv = args.get_bool("csv", false);
   const unsigned threads = core::threads_from_args(args);
+  const std::uint64_t seed = core::seed_from_args(args);
   const auto json_sink = core::json_sink_from_args(args, "fig7");
   args.warn_unknown(std::cerr);
 
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
 
   core::MonteCarloOptions mc;
   mc.replicates = reps;
+  mc.seed = seed;
 
   core::ExperimentSpec spec;
   spec.name = "fig7";

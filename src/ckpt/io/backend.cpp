@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/cli.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 
@@ -176,6 +177,20 @@ std::size_t MemoryBackend::stored_bytes() const noexcept {
   return n;
 }
 
+std::optional<SnapshotBlob> latest_restorable(const StorageBackend& backend) {
+  const std::vector<SnapshotMeta> metas = backend.list();
+  for (auto it = metas.rbegin(); it != metas.rend(); ++it) {
+    try {
+      SnapshotBlob blob = backend.read_snapshot(it->id);
+      blob.verify();
+      return blob;
+    } catch (const io_error&) {
+      // Torn, truncated or corrupt — fall back to the next-older snapshot.
+    }
+  }
+  return std::nullopt;
+}
+
 // --- make_backend -----------------------------------------------------------
 
 namespace {
@@ -205,19 +220,12 @@ SpecParts split_spec(std::string_view spec) {
   return p;
 }
 
-/// "k1=v1,k2=v2" lookup; empty string when the key is absent.
+/// "k1=v1,k2=v2" lookup via the shared structured-spec parser; empty string
+/// when the key is absent (or the whole option tail is empty).
 std::string spec_option(const std::string& options, std::string_view key) {
-  std::size_t pos = 0;
-  while (pos < options.size()) {
-    auto end = options.find(',', pos);
-    if (end == std::string::npos) end = options.size();
-    const std::string_view item(options.data() + pos, end - pos);
-    const auto eq = item.find('=');
-    if (eq != std::string_view::npos && item.substr(0, eq) == key)
-      return std::string(item.substr(eq + 1));
-    pos = end + 1;
-  }
-  return {};
+  if (options.empty()) return {};
+  const auto items = common::parse_key_values(options, ',', '=');
+  return common::find_key_value(items, key).value_or(std::string{});
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -140,6 +141,16 @@ void require_valid_layout(const SnapshotMeta& meta,
 /// write_snapshot can still delegate to it.
 void write_via_session(StorageBackend& backend, const SnapshotBlob& blob);
 }  // namespace detail
+
+/// Restore-on-respawn entry point: the newest snapshot that reads back
+/// fully intact — structural checks *and* payload CRCs (SnapshotBlob::
+/// verify) — walking list() from newest to oldest and skipping torn,
+/// truncated or corrupt snapshots. nullopt when nothing restorable exists.
+/// This is what a recovering process calls after a crash: a snapshot whose
+/// committer died mid-write (or whose payload a fault tore) must not stop
+/// an older good snapshot from being used.
+[[nodiscard]] std::optional<SnapshotBlob> latest_restorable(
+    const StorageBackend& backend);
 
 /// Backend factory from a storage spec:
 ///

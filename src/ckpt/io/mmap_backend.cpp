@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -168,7 +169,13 @@ class MmapBackend::Session final : public StorageBackend::WriteSession {
     s.bytes = meta_.bytes;
     s.offset = table_off_;
     s.seq = a->header.next_seq++;
-    s.committed = 1;
+    // The committed flag is set *last* with release ordering: a committer
+    // SIGKILLed mid-commit must never leave a flagged slot whose other
+    // fields were not yet stored (plain stores could be compiler-reordered
+    // past the flag; the shared mapping makes every executed store durable
+    // the instant the process dies).
+    std::atomic_ref<std::uint32_t>(s.committed)
+        .store(1, std::memory_order_release);
     sync_range(a, 0, kDataStart);  // header + slot table
     committed_ = true;
   }
@@ -248,17 +255,26 @@ void MmapBackend::open() {
     // Reclaim torn reservations a crash mid-session may have left behind
     // (used slot never committed, cursor advanced past orphaned bytes):
     // clear the slots and rewind the cursor to the end of the last
-    // committed snapshot.
+    // committed snapshot. A SIGKILLed committer can also leave a slot that
+    // *is* flagged committed but whose record is half-written (the flag is
+    // stored last, but a crash between page writebacks — or a torn write
+    // from a fault injector — can still surface one); a committed slot
+    // whose geometry does not describe a snapshot inside the arena is
+    // equally torn and must not be treated as live.
     bool torn = false;
     std::uint64_t cursor = kDataStart;
     for (Slot& s : a->slots) {
-      if (s.used && !s.committed) {
+      const std::uint64_t extent =
+          s.offset + align8(s.region_count * sizeof(RegionEntry)) + s.bytes;
+      const bool valid = s.id != 0 && s.offset >= kDataStart &&
+                         s.offset <= capacity_ && extent >= s.offset &&
+                         extent <= capacity_ && s.seq != 0 &&
+                         s.seq < a->header.next_seq;
+      if (s.used && (!s.committed || !valid)) {
         s = Slot{};
         torn = true;
       } else if (s.used) {
-        cursor = std::max(
-            cursor, s.offset + align8(s.region_count * sizeof(RegionEntry)) +
-                        s.bytes);
+        cursor = std::max(cursor, extent);
       }
     }
     if (torn || a->header.data_cursor < cursor) {

@@ -7,6 +7,40 @@
 
 namespace abftc::common {
 
+std::vector<KeyValue> parse_key_values(std::string_view text, char pair_sep,
+                                       char kv_sep) {
+  std::vector<KeyValue> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(pair_sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = text.substr(start, end - start);
+    ABFTC_REQUIRE(!item.empty(), "empty item in key-value spec '" +
+                                     std::string(text) + "'");
+    const std::size_t sep = item.find(kv_sep);
+    KeyValue kv;
+    if (sep == std::string_view::npos) {
+      kv.key = std::string(item);
+    } else {
+      kv.key = std::string(item.substr(0, sep));
+      kv.value = std::string(item.substr(sep + 1));
+    }
+    ABFTC_REQUIRE(!kv.key.empty(), "empty key in key-value spec '" +
+                                       std::string(text) + "'");
+    items.push_back(std::move(kv));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return items;
+}
+
+std::optional<std::string> find_key_value(const std::vector<KeyValue>& items,
+                                          std::string_view key) {
+  for (const KeyValue& kv : items)
+    if (kv.key == key) return kv.value;
+  return std::nullopt;
+}
+
 ArgParser::ArgParser(int argc, const char* const* argv) {
   ABFTC_REQUIRE(argc >= 1, "argc must include the program name");
   program_ = argv[0];
@@ -100,6 +134,17 @@ std::vector<double> ArgParser::get_double_list(const std::string& name,
     out.push_back(d);
   }
   return out;
+}
+
+std::vector<KeyValue> ArgParser::get_key_values(const std::string& name,
+                                                std::vector<KeyValue> def,
+                                                char kv_sep) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  ABFTC_REQUIRE(!v->empty(),
+                "--" + name + " expects a key-value spec (k" +
+                    std::string(1, kv_sep) + "v,...)");
+  return parse_key_values(*v, ',', kv_sep);
 }
 
 std::vector<std::string> ArgParser::unknown() const {

@@ -9,9 +9,29 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace abftc::common {
+
+/// One `key<sep>value` item of a structured spec string.
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+/// Parse a structured spec string ("steps:0-12,ranks:0-3" or "direct=1")
+/// into ordered key/value pairs. `pair_sep` separates items, `kv_sep`
+/// separates key from value within an item. Empty items and empty keys are
+/// rejected; an item without `kv_sep` becomes {key, ""} (a bare switch).
+/// Duplicate keys are kept in order — callers decide whether that is legal.
+[[nodiscard]] std::vector<KeyValue> parse_key_values(std::string_view text,
+                                                     char pair_sep = ',',
+                                                     char kv_sep = ':');
+
+/// First value for `key` in a parsed spec; nullopt when absent.
+[[nodiscard]] std::optional<std::string> find_key_value(
+    const std::vector<KeyValue>& items, std::string_view key);
 
 class ArgParser {
  public:
@@ -33,6 +53,13 @@ class ArgParser {
   /// `--key=v1,v2,v3` parsed as doubles (used by sweep axes).
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& name, std::vector<double> def = {}) const;
+
+  /// Structured spec value: `--key=k1:v1,k2:v2` as ordered key/value pairs
+  /// (see parse_key_values). `def` when the flag is absent; a present flag
+  /// with an empty value is malformed. Used by `--campaign=` and friends.
+  [[nodiscard]] std::vector<KeyValue> get_key_values(
+      const std::string& name, std::vector<KeyValue> def = {},
+      char kv_sep = ':') const;
 
   /// Flags that were given but never read by any get_*/has() call — i.e.
   /// flags the binary does not understand. Call after all options have been

@@ -348,6 +348,12 @@ unsigned threads_from_args(const common::ArgParser& args) {
   return static_cast<unsigned>(args.get_int("threads", 0));
 }
 
+std::uint64_t seed_from_args(const common::ArgParser& args,
+                             std::uint64_t def) {
+  return static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(def)));
+}
+
 // ---- Engine ----------------------------------------------------------------
 
 Experiment::Experiment(ExperimentSpec spec) : spec_(std::move(spec)) {

@@ -287,6 +287,14 @@ class JsonSink : public ResultSink {
 /// Reads the flag, so call before ArgParser::unknown()/warn_unknown().
 [[nodiscard]] unsigned threads_from_args(const common::ArgParser& args);
 
+/// Shared driver idiom for the `--seed=N` flag: the root of every random
+/// stream a driver touches (Monte-Carlo replicates, campaign fault sites).
+/// The default is the MonteCarloOptions default seed, so omitting the flag
+/// reproduces the canonical artifacts; re-running with the same --seed
+/// replays the identical fault/replicate sequence.
+[[nodiscard]] std::uint64_t seed_from_args(
+    const common::ArgParser& args, std::uint64_t def = 0xABF7C0DEULL);
+
 /// Run a declarative experiment: every sweep cell × every series, in
 /// parallel over cells, then stream rows to the attached sinks.
 class Experiment {

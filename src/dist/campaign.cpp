@@ -1,0 +1,335 @@
+#include "dist/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <mutex>
+
+#include "ckpt/io/faulting.hpp"
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "core/params.hpp"
+
+namespace abftc::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Per-cell storage spec: "memory" is naturally isolated (fresh store per
+/// make_backend call); file/mmap paths get a ".cellN" suffix spliced in
+/// before any ?options tail so cells never share an arena or directory.
+struct CellStorage {
+  std::string spec;
+  std::string path;  ///< filesystem path to clean up; empty for memory
+};
+
+CellStorage storage_for(const std::string& base, const std::string& tag) {
+  CellStorage out;
+  if (base.rfind("memory", 0) == 0) {
+    out.spec = base;
+    return out;
+  }
+  const auto qmark = base.find('?');
+  const std::string body =
+      qmark == std::string::npos ? base : base.substr(0, qmark);
+  const std::string options =
+      qmark == std::string::npos ? std::string{} : base.substr(qmark);
+  out.spec = body + "." + tag + options;
+  const auto colon = body.find(':');
+  out.path = colon == std::string::npos ? body + "." + tag
+                                        : body.substr(colon + 1) + "." + tag;
+  return out;
+}
+
+void cleanup(const CellStorage& storage) {
+  if (storage.path.empty()) return;
+  std::error_code ec;  // best-effort: a leftover arena is not a failure
+  std::filesystem::remove_all(storage.path, ec);
+}
+
+/// Sum of step_seconds[c..s] — the steps a restore-to-boundary-c replays.
+double replay_time(const Calibration& calib, std::size_t c, std::size_t s) {
+  double t = 0.0;
+  for (std::size_t k = c; k <= s && k < calib.step_seconds.size(); ++k)
+    t += calib.step_seconds[k];
+  return t;
+}
+
+double predict(const Calibration& calib, const Cell& cell,
+               std::size_t ckpt_every) {
+  switch (cell.kind) {
+    case FaultKind::Flip:
+      return calib.t_clean + calib.check_s + calib.recons_s;
+    case FaultKind::Kill: {
+      const std::size_t c = (cell.step / ckpt_every) * ckpt_every;
+      return calib.t_clean + calib.restore_s +
+             replay_time(calib, c, cell.step);
+    }
+    case FaultKind::Torn: {
+      // The covering boundary's snapshot is torn: restore falls back one
+      // checkpoint period (or to the initial image when none is older).
+      const std::size_t torn = (cell.step / ckpt_every) * ckpt_every;
+      const std::size_t c = torn >= ckpt_every ? torn - ckpt_every : 0;
+      return calib.t_clean + calib.restore_s +
+             replay_time(calib, c, cell.step);
+    }
+  }
+  return calib.t_clean;
+}
+
+/// Residual of the checksum invariants over copied-out final state (the
+/// calibration clone of Launcher::residual_now; frozen_steps = nbk after a
+/// completed run).
+double final_residual(const abft::Matrix& a, const abft::Matrix& active,
+                      const abft::Matrix& frozen, std::size_t nb,
+                      std::size_t group) {
+  const std::size_t nbk = a.rows() / nb;
+  const std::size_t groups = nbk / group;
+  double worst = 0.0;
+  for (std::size_t g = 0; g < groups; ++g)
+    for (std::size_t r = 0; r < nb; ++r)
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        double sum = 0.0;
+        for (std::size_t m = 0; m < group; ++m)
+          sum += a((g * group + m) * nb + r, j);
+        const std::size_t row = g * nb + r;
+        worst = std::max(worst, std::abs(sum - frozen(row, j)));
+        worst = std::max(worst, std::abs(active(row, j)));
+      }
+  return worst;
+}
+
+Calibration calibrate(const DistConfig& cfg, const CampaignOptions& options) {
+  const CellStorage storage = storage_for(options.storage, "clean");
+  auto backend = ckpt::io::make_backend(storage.spec);
+  Launcher clean(cfg, *backend);
+  const RunReport rep = clean.run();
+  ABFTC_CHECK(rep.completed, "calibration run did not complete");
+
+  Calibration calib;
+  calib.t_clean = rep.wall_seconds;
+  calib.step_seconds = rep.step_seconds;
+
+  // restore_s: read + verify the newest snapshot, as the death path would.
+  auto t0 = Clock::now();
+  const auto blob = ckpt::io::latest_restorable(*backend);
+  calib.restore_s = seconds_since(t0);
+  ABFTC_CHECK(blob.has_value(), "clean run left no restorable snapshot");
+
+  // check_s: one full residual sweep over the final state.
+  t0 = Clock::now();
+  (void)final_residual(clean.lu(), clean.active_cs(), clean.frozen_cs(),
+                       cfg.nb, cfg.group);
+  calib.check_s = seconds_since(t0);
+
+  // recons_s: reconstruct one (frozen) block on scratch copies.
+  abft::Matrix scratch = clean.lu();
+  const abft::Matrix& frozen = clean.frozen_cs();
+  t0 = Clock::now();
+  abft::MatrixView lost = scratch.block(0, 0, cfg.nb, cfg.nb);
+  for (std::size_t r = 0; r < cfg.nb; ++r)
+    for (std::size_t c = 0; c < cfg.nb; ++c) lost(r, c) = frozen(r, c);
+  for (std::size_t mi = 1; mi < cfg.group; ++mi)
+    for (std::size_t r = 0; r < cfg.nb; ++r)
+      for (std::size_t c = 0; c < cfg.nb; ++c)
+        lost(r, c) -= scratch(mi * cfg.nb + r, c);
+  calib.recons_s = seconds_since(t0);
+
+  cleanup(storage);
+  return calib;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const DistConfig& cfg, const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  const DistLayout lay =
+      DistLayout::compute(cfg.n, cfg.nb, cfg.group, cfg.ranks);
+  ABFTC_REQUIRE(spec.step_hi < lay.nbk,
+                "campaign steps exceed the factorization's block steps");
+  ABFTC_REQUIRE(spec.rank_hi < cfg.ranks,
+                "campaign ranks exceed the configured rank count");
+
+  CampaignReport report;
+  report.config = cfg;
+  report.spec = spec;
+  report.options = options;
+  report.calib = calibrate(cfg, options);
+
+  // The clean factors every recovered cell must reproduce.
+  abft::Matrix clean_lu;
+  {
+    const CellStorage storage = storage_for(options.storage, "ref");
+    auto backend = ckpt::io::make_backend(storage.spec);
+    Launcher ref(cfg, *backend);
+    (void)ref.run();
+    clean_lu = ref.lu();
+    cleanup(storage);
+  }
+
+  for (const std::size_t index :
+       spec.shard_indices(options.shard, options.nshards)) {
+    const Cell cell = spec.cell(index);
+    const CellStorage storage =
+        storage_for(options.storage, "cell" + std::to_string(index));
+    auto backend = ckpt::io::make_backend(storage.spec);
+
+    DistConfig cell_cfg = cfg;
+    cell_cfg.flip_seed = cell_seed(cfg.seed, index);
+
+    std::vector<Injection> faults;
+    ckpt::io::StorageBackend* effective = backend.get();
+    std::unique_ptr<ckpt::io::FaultingBackend> faulting;
+    if (cell.kind == FaultKind::Torn) {
+      // Tear the checkpoint write covering this step, then kill the victim
+      // at the step: the restore must fall back past the torn snapshot.
+      const std::size_t torn_write = cell.step / cfg.ckpt_every;
+      faulting = std::make_unique<ckpt::io::FaultingBackend>(
+          *backend,
+          std::vector<ckpt::io::FaultingBackend::Fault>{
+              {torn_write, ckpt::io::WriteFault::TornPayload}});
+      effective = faulting.get();
+      faults.push_back({FaultKind::Torn, cell.step, cell.rank});
+    } else {
+      faults.push_back({cell.kind, cell.step, cell.rank});
+    }
+
+    Launcher launcher(cell_cfg, *effective);
+    const RunReport rep = launcher.run(faults);
+
+    CellOutcome out;
+    out.cell = cell;
+    out.measured_seconds = rep.wall_seconds;
+    out.predicted_seconds = predict(report.calib, cell, cfg.ckpt_every);
+    out.ratio = out.predicted_seconds > 0.0
+                    ? rep.wall_seconds / out.predicted_seconds
+                    : 0.0;
+    out.residual = rep.residual;
+    out.restores = rep.restores;
+    out.reconstructions = rep.reconstructions;
+    out.respawns = rep.respawns;
+    out.factor_error = abft::relative_error(launcher.lu(), clean_lu);
+    // Recovered = the run survived AND produced the right answer: the
+    // checksum invariants hold and the factors match the uninjected run
+    // (bitwise for kill/torn via restore+replay; to reconstruction rounding
+    // for flips).
+    out.recovered =
+        rep.completed && rep.residual < 1e-7 && out.factor_error < 1e-8;
+    if (!out.recovered) ++report.unrecovered;
+    report.cells.push_back(out);
+    cleanup(storage);
+  }
+
+  double sum = 0.0;
+  for (const CellOutcome& c : report.cells) {
+    sum += c.ratio;
+    report.max_ratio = std::max(report.max_ratio, c.ratio);
+  }
+  report.mean_ratio =
+      report.cells.empty() ? 0.0 : sum / static_cast<double>(report.cells.size());
+  return report;
+}
+
+// --- the "dist" evaluator ---------------------------------------------------
+
+DistEvalOptions& dist_eval_options() {
+  static DistEvalOptions opts;
+  return opts;
+}
+
+namespace {
+
+/// Measures waste by running the miniature protected factorization with the
+/// scenario's expected failure count injected as real faults. The launcher
+/// forks and the options are process-global, so evaluations serialize on a
+/// mutex (the Evaluator contract only demands thread-safety, not
+/// parallelism).
+class DistEvaluator final : public core::Evaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dist";
+  }
+
+  [[nodiscard]] core::EvalResult evaluate(
+      core::Protocol p, const core::ScenarioParams& s,
+      const core::EvalContext& ctx) const override {
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> lock(mutex);
+
+    const DistEvalOptions& opts = dist_eval_options();
+    DistConfig cfg;
+    cfg.n = opts.n;
+    cfg.nb = opts.nb;
+    cfg.ranks = opts.ranks;
+    cfg.group = opts.group;
+    cfg.ckpt_every = opts.ckpt_every;
+    cfg.seed = ctx.mc.seed;
+    const std::size_t nbk = cfg.n / cfg.nb;
+
+    // Scenario → injection schedule: the expected failure count over the
+    // run, placed systematically (mid-interval), round-robin over ranks.
+    // Under the ABFT protocol the library-phase share α of failures is
+    // absorbed by checksum reconstruction (flips); the rest — and every
+    // failure under the checkpoint-only protocols — costs a rollback
+    // (kills).
+    const double expected =
+        s.platform.mtbf > 0.0 ? s.total_work() / s.platform.mtbf : 1.0;
+    const std::size_t faults = static_cast<std::size_t>(std::clamp<double>(
+        std::llround(expected), 1.0, static_cast<double>(nbk)));
+    const bool abft = p == core::Protocol::AbftPeriodicCkpt;
+    const std::size_t flips =
+        abft ? static_cast<std::size_t>(
+                   std::llround(s.epoch.alpha * static_cast<double>(faults)))
+             : 0;
+
+    std::vector<Injection> plan;
+    for (std::size_t i = 0; i < faults; ++i) {
+      Injection inj;
+      inj.step = static_cast<std::size_t>(
+          (static_cast<double>(i) + 0.5) * static_cast<double>(nbk) /
+          static_cast<double>(faults));
+      inj.rank = i % cfg.ranks;
+      inj.kind = i < flips ? FaultKind::Flip : FaultKind::Kill;
+      plan.push_back(inj);
+    }
+
+    core::EvalResult result;
+    try {
+      auto clean_backend = ckpt::io::make_backend(opts.storage);
+      Launcher clean(cfg, *clean_backend);
+      const RunReport clean_rep = clean.run();
+
+      auto faulty_backend = ckpt::io::make_backend(opts.storage);
+      Launcher faulty(cfg, *faulty_backend);
+      const RunReport faulty_rep = faulty.run(plan);
+
+      result.valid = clean_rep.completed && faulty_rep.completed;
+      result.t_final = faulty_rep.wall_seconds;
+      result.failures = static_cast<double>(faults);
+      result.abft_active = abft;
+      result.waste =
+          faulty_rep.wall_seconds > clean_rep.wall_seconds
+              ? 1.0 - clean_rep.wall_seconds / faulty_rep.wall_seconds
+              : 0.0;
+    } catch (const std::exception&) {
+      result.valid = false;
+      result.waste = 1.0;
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+void register_dist_evaluator() {
+  if (core::EvaluatorRegistry::instance().find("dist") != nullptr) return;
+  core::EvaluatorRegistry::instance().add(std::make_unique<DistEvaluator>());
+}
+
+}  // namespace abftc::dist

@@ -1,0 +1,95 @@
+#pragma once
+/// \file campaign.hpp
+/// Campaign execution over the dist runtime, and the "dist" Evaluator that
+/// plugs measured survival into the experiment engine.
+///
+/// `run_campaign` executes every cell of a CampaignSpec shard: one fresh
+/// Launcher per cell over a fresh storage backend, with the cell's fault
+/// injected for real (SIGKILL / bit flip / torn checkpoint write). Each
+/// cell's measured wall time is compared against a model-predicted
+/// completion time assembled from a calibration pass:
+///
+///   kill  t = t_clean + restore + Σ step_s[c..s]   (c = covering boundary)
+///   torn  same, with c the boundary *before* the torn one (the restore
+///         falls back past the torn snapshot)
+///   flip  t = t_clean + check + recons
+///
+/// — the measured-vs-model ratio is the paper's model-validation move
+/// (Section V-A) applied to real process death instead of simulated clocks.
+///
+/// The "dist" Evaluator miniaturizes a ScenarioParams into a campaign-style
+/// run: the scenario's expected failure count is injected as systematically
+/// placed faults (flips for the ABFT protocol's library phase share, kills
+/// otherwise) and waste = 1 − t_clean/t_faulty is measured, not modeled.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/fault.hpp"
+#include "dist/launcher.hpp"
+
+namespace abftc::dist {
+
+/// Constants measured before the cells run, from which per-cell predicted
+/// times are assembled.
+struct Calibration {
+  double t_clean = 0.0;  ///< uninjected wall time (checkpoint writes incl.)
+  std::vector<double> step_seconds;  ///< per block step, from the clean run
+  double restore_s = 0.0;  ///< newest-restorable read + verify
+  double check_s = 0.0;    ///< checksum-residual verification sweep
+  double recons_s = 0.0;   ///< one block reconstruction
+};
+
+struct CellOutcome {
+  Cell cell;
+  bool recovered = false;  ///< completed, residual clean, factors match
+  double measured_seconds = 0.0;
+  double predicted_seconds = 0.0;
+  double ratio = 0.0;  ///< measured / predicted
+  double residual = 0.0;
+  double factor_error = 0.0;  ///< relative error of the factors vs clean
+  std::size_t restores = 0, reconstructions = 0, respawns = 0;
+};
+
+struct CampaignOptions {
+  std::string storage = "memory";  ///< make_backend spec; non-memory specs
+                                   ///< get a per-cell path suffix
+  std::size_t shard = 0;           ///< this invocation's shard index
+  std::size_t nshards = 1;         ///< total shards (cells: i % nshards)
+};
+
+struct CampaignReport {
+  DistConfig config;
+  CampaignSpec spec;
+  CampaignOptions options;
+  Calibration calib;
+  std::vector<CellOutcome> cells;  ///< this shard's cells, ascending index
+  std::size_t unrecovered = 0;
+  double mean_ratio = 0.0;
+  double max_ratio = 0.0;
+};
+
+/// Execute one shard of a campaign. `cfg.seed` is the root seed: it fixes
+/// the matrix everywhere and derives each cell's flip site via
+/// cell_seed(seed, index), so shards merge deterministically and any cell
+/// replays in isolation.
+[[nodiscard]] CampaignReport run_campaign(const DistConfig& cfg,
+                                          const CampaignSpec& spec,
+                                          const CampaignOptions& options = {});
+
+/// Shape of the miniature run the "dist" evaluator performs per scenario.
+/// Process-global (like the kernel policy): bench drivers configure it once
+/// before evaluating.
+struct DistEvalOptions {
+  std::size_t n = 96, nb = 16, ranks = 2, group = 3, ckpt_every = 2;
+  std::string storage = "memory";
+};
+[[nodiscard]] DistEvalOptions& dist_eval_options();
+
+/// Register the "dist" evaluator in the process-global EvaluatorRegistry
+/// (idempotent). Series naming evaluator "dist" then measure waste by
+/// running real injected factorizations instead of evaluating formulas.
+void register_dist_evaluator();
+
+}  // namespace abftc::dist

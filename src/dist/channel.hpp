@@ -1,0 +1,110 @@
+#pragma once
+/// \file channel.hpp
+/// Shared-memory transport for the distributed fault-injection runtime.
+///
+/// The dist launcher forks N worker ranks from a coordinator; all matrix
+/// state and all control traffic live in one anonymous MAP_SHARED mapping
+/// created before the forks, so a worker that dies and is respawned
+/// re-attaches to exactly the bytes its predecessor was mutating.
+///
+/// Control traffic uses one single-slot SPSC `Mailbox` per direction per
+/// rank. The protocol is strict lockstep — the coordinator posts a command
+/// and waits for the matching response before posting the next — so one
+/// slot suffices and there is no queue to corrupt. Framing:
+///
+///   sender:   write {type, args, crc}, then release-store seq+1
+///   receiver: acquire-poll seq until it advances, read the payload,
+///             recompute the CRC over {type, args} and reject mismatches
+///
+/// A SIGKILLed worker can leave a half-written payload behind, but only
+/// with seq un-bumped (the store is last) — the coordinator never reads it;
+/// it times out, reaps the corpse via waitpid, and runs recovery instead.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace abftc::dist {
+
+/// Dead rank, lost handshake, corrupt frame, worker that won't die — the
+/// transport-layer failures the launcher turns into recovery actions.
+class dist_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An anonymous shared mapping (MAP_SHARED | MAP_ANONYMOUS), created by the
+/// coordinator before fork() so every worker inherits the same physical
+/// pages. Unmapped on destruction (workers exit with _exit; the kernel
+/// drops their reference).
+class SharedRegion {
+ public:
+  explicit SharedRegion(std::size_t bytes);
+  ~SharedRegion();
+  SharedRegion(const SharedRegion&) = delete;
+  SharedRegion& operator=(const SharedRegion&) = delete;
+
+  [[nodiscard]] void* data() const noexcept { return map_; }
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t len_ = 0;
+};
+
+/// Command / response vocabulary of the lockstep protocol.
+enum class MsgType : std::uint32_t {
+  None = 0,
+  Panel = 1,     ///< to owner(k): factor panel k         (args[0] = k)
+  Update = 2,    ///< to all ranks: update owned columns  (args[0] = k)
+  Shutdown = 3,  ///< to a rank: exit cleanly
+  Done = 4,      ///< from a rank: command complete       (args[0] echoes k)
+};
+
+/// One decoded frame.
+struct Message {
+  MsgType type = MsgType::None;
+  std::uint64_t args[4] = {0, 0, 0, 0};
+};
+
+/// Single-slot SPSC mailbox in shared memory. 64-byte aligned so two
+/// mailboxes never share a cache line (false sharing across processes).
+struct alignas(64) Mailbox {
+  std::atomic<std::uint64_t> seq;  ///< frames posted; bumped last (release)
+  std::uint32_t type;
+  std::uint32_t crc;  ///< crc32 over {type, args}
+  std::uint64_t args[4];
+};
+static_assert(sizeof(Mailbox) == 64, "mailbox must be exactly a cache line");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process mailboxes need lock-free 64-bit atomics");
+
+/// CRC over the payload a frame carries (what `post` stores and `recv`
+/// recomputes).
+[[nodiscard]] std::uint32_t frame_crc(MsgType type,
+                                      const std::uint64_t (&args)[4]);
+
+/// Publish one frame: payload first, seq bump (release) last.
+void post(Mailbox& mb, MsgType type, std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+          std::uint64_t a2 = 0, std::uint64_t a3 = 0);
+
+/// Non-blocking receive: if `mb.seq` has advanced past `last_seen`, decode
+/// the frame (throwing dist_error on a CRC mismatch), advance `last_seen`
+/// and return it; otherwise nullopt.
+[[nodiscard]] std::optional<Message> try_recv(Mailbox& mb,
+                                              std::uint64_t& last_seen);
+
+/// Blocking receive with deadline: acquire-poll with a short sleep between
+/// probes (~50 µs, so rank-death detection latency stays far below a block
+/// step). nullopt on timeout.
+[[nodiscard]] std::optional<Message> recv(Mailbox& mb,
+                                          std::uint64_t& last_seen,
+                                          double timeout_s);
+
+/// Zero a mailbox (coordinator, before respawning a dead rank, so the
+/// replacement starts from seq 0 with no stale frame visible).
+void reset(Mailbox& mb);
+
+}  // namespace abftc::dist

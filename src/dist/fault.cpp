@@ -1,0 +1,130 @@
+#include "dist/fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace abftc::dist {
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::Kill: return "kill";
+    case FaultKind::Flip: return "flip";
+    case FaultKind::Torn: return "torn";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind kind_from(std::string_view name) {
+  if (name == "kill") return FaultKind::Kill;
+  if (name == "flip") return FaultKind::Flip;
+  if (name == "torn") return FaultKind::Torn;
+  ABFTC_REQUIRE(false, "unknown fault kind '" + std::string(name) +
+                           "' (known: kill, flip, torn)");
+}
+
+/// "LO-HI" or a single "N" (both bounds inclusive).
+void parse_range(const std::string& text, std::string_view key,
+                 std::size_t& lo, std::size_t& hi) {
+  const auto parse_one = [&](const std::string& s) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    ABFTC_REQUIRE(!s.empty() && end == s.c_str() + s.size() && errno == 0,
+                  "campaign " + std::string(key) + " range has a malformed " +
+                      "number in '" + text + "'");
+    return static_cast<std::size_t>(v);
+  };
+  const auto dash = text.find('-');
+  if (dash == std::string::npos) {
+    lo = hi = parse_one(text);
+  } else {
+    lo = parse_one(text.substr(0, dash));
+    hi = parse_one(text.substr(dash + 1));
+  }
+  ABFTC_REQUIRE(lo <= hi, "campaign " + std::string(key) + " range '" + text +
+                              "' is descending");
+}
+
+}  // namespace
+
+CampaignSpec CampaignSpec::parse(std::string_view text) {
+  const auto items = common::parse_key_values(text, ',', ':');
+  CampaignSpec spec;
+  bool have_steps = false, have_ranks = false;
+  for (const common::KeyValue& kv : items) {
+    if (kv.key == "steps") {
+      parse_range(kv.value, "steps", spec.step_lo, spec.step_hi);
+      have_steps = true;
+    } else if (kv.key == "ranks") {
+      parse_range(kv.value, "ranks", spec.rank_lo, spec.rank_hi);
+      have_ranks = true;
+    } else if (kv.key == "kinds") {
+      std::size_t start = 0;
+      const std::string& v = kv.value;
+      while (start <= v.size()) {
+        std::size_t end = v.find('+', start);
+        if (end == std::string::npos) end = v.size();
+        spec.kinds.push_back(kind_from(v.substr(start, end - start)));
+        if (end == v.size()) break;
+        start = end + 1;
+      }
+    } else {
+      ABFTC_REQUIRE(false, "unknown campaign key '" + kv.key +
+                               "' (known: steps, ranks, kinds)");
+    }
+  }
+  ABFTC_REQUIRE(have_steps, "campaign spec needs steps:LO-HI");
+  ABFTC_REQUIRE(have_ranks, "campaign spec needs ranks:LO-HI");
+  ABFTC_REQUIRE(!spec.kinds.empty(),
+                "campaign spec needs kinds:kill+flip+torn (any subset)");
+  return spec;
+}
+
+Cell CampaignSpec::cell(std::size_t index) const {
+  ABFTC_REQUIRE(index < cell_count(), "campaign cell index out of range");
+  const std::size_t nk = kinds.size();
+  const std::size_t per_step = ranks() * nk;
+  Cell c;
+  c.index = index;
+  c.step = step_lo + index / per_step;
+  c.rank = rank_lo + (index % per_step) / nk;
+  c.kind = kinds[index % nk];
+  return c;
+}
+
+std::vector<std::size_t> CampaignSpec::shard_indices(
+    std::size_t shard, std::size_t nshards) const {
+  ABFTC_REQUIRE(nshards > 0 && shard < nshards,
+                "shard must satisfy shard < nshards");
+  std::vector<std::size_t> out;
+  for (std::size_t i = shard; i < cell_count(); i += nshards)
+    out.push_back(i);
+  return out;
+}
+
+std::string CampaignSpec::to_spec() const {
+  std::string s = "steps:" + std::to_string(step_lo) + "-" +
+                  std::to_string(step_hi) + ",ranks:" +
+                  std::to_string(rank_lo) + "-" + std::to_string(rank_hi) +
+                  ",kinds:";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (i > 0) s += '+';
+    s += to_string(kinds[i]);
+  }
+  return s;
+}
+
+std::uint64_t cell_seed(std::uint64_t root_seed,
+                        std::size_t cell_index) noexcept {
+  std::uint64_t state =
+      root_seed ^ (0x9e3779b97f4a7c15ULL * (cell_index + 1));
+  return common::splitmix64(state);
+}
+
+}  // namespace abftc::dist

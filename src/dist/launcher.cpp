@@ -1,0 +1,470 @@
+#include "dist/launcher.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "abft/checksum.hpp"
+#include "abft/kernels.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace abftc::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint32_t payload_crc(const void* data, std::size_t bytes) {
+  return common::crc32(std::span<const std::byte>(
+      static_cast<const std::byte*>(data), bytes));
+}
+
+/// Region ids of a dist snapshot.
+constexpr ckpt::RegionId kRegionProgress = 0;
+constexpr ckpt::RegionId kRegionMatrix = 1;
+constexpr ckpt::RegionId kRegionActive = 2;
+constexpr ckpt::RegionId kRegionFrozen = 3;
+
+}  // namespace
+
+struct Launcher::Rank {
+  pid_t pid = -1;
+  int ready_fd = -1;  ///< read end of the ready pipe (POLLHUP = dead)
+  std::uint64_t rsp_seen = 0;
+};
+
+Launcher::Launcher(DistConfig cfg, ckpt::io::StorageBackend& backend)
+    : cfg_(cfg), backend_(backend) {
+  layout_ = DistLayout::compute(cfg_.n, cfg_.nb, cfg_.group, cfg_.ranks);
+  nbk_ = layout_.nbk;
+  ABFTC_REQUIRE(cfg_.ckpt_every > 0, "ckpt_every must be positive");
+  ranks_.resize(cfg_.ranks);
+}
+
+Launcher::~Launcher() { reap_all(); }
+
+void Launcher::reap_all() noexcept {
+  for (Rank& r : ranks_) {
+    if (r.pid > 0) {
+      ::kill(r.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(r.pid, &status, 0);
+      r.pid = -1;
+    }
+    if (r.ready_fd >= 0) {
+      ::close(r.ready_fd);
+      r.ready_fd = -1;
+    }
+  }
+}
+
+void Launcher::spawn(std::size_t r) {
+  int fds[2];
+  if (::pipe(fds) != 0) throw dist_error("pipe() for ready handshake failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw dist_error("fork() of worker rank failed");
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    worker_main(arena_->data(), layout_, r, fds[1]);  // never returns
+  }
+  ::close(fds[1]);
+  // Wait for the one-byte ready handshake; a child that dies before serving
+  // shows up as POLLHUP here instead of hanging the launcher.
+  pollfd pfd{fds[0], POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, 10'000);
+  char byte = 0;
+  if (rc <= 0 || ::read(fds[0], &byte, 1) != 1) {
+    ::close(fds[0]);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    throw dist_error("worker rank " + std::to_string(r) +
+                     " failed the ready handshake");
+  }
+  ranks_[r].pid = pid;
+  ranks_[r].ready_fd = fds[0];
+  ranks_[r].rsp_seen = shared_.rsp[r].seq.load(std::memory_order_acquire);
+}
+
+bool Launcher::await_done(std::size_t r, std::size_t k, RunReport& report) {
+  (void)report;
+  Rank& rank = ranks_[r];
+  const auto t0 = Clock::now();
+  while (true) {
+    if (rank.pid > 0) {
+      if (auto msg = try_recv(shared_.rsp[r], rank.rsp_seen)) {
+        if (msg->type != MsgType::Done || msg->args[0] != k)
+          throw dist_error("rank " + std::to_string(r) +
+                           " answered out of protocol at step " +
+                           std::to_string(k));
+        return true;
+      }
+      int status = 0;
+      const pid_t reaped = ::waitpid(rank.pid, &status, WNOHANG);
+      if (reaped == rank.pid) {  // rank died mid-step
+        rank.pid = -1;
+        ::close(rank.ready_fd);
+        rank.ready_fd = -1;
+        return false;
+      }
+    } else {
+      return false;  // already known dead (killed before this wait)
+    }
+    if (seconds_since(t0) > cfg_.step_timeout_s) {
+      // A hung rank is indistinguishable from a dead one to the protocol:
+      // make it dead and let the death path recover.
+      ::kill(rank.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(rank.pid, &status, 0);
+      rank.pid = -1;
+      ::close(rank.ready_fd);
+      rank.ready_fd = -1;
+      return false;
+    }
+    timespec nap{0, 50'000};
+    ::nanosleep(&nap, nullptr);
+  }
+}
+
+ckpt::io::SnapshotBlob Launcher::make_blob(std::size_t step) const {
+  ckpt::io::SnapshotBlob blob;
+  blob.meta.id = static_cast<ckpt::CkptId>(step + 1);
+  blob.meta.kind = ckpt::CkptKind::Full;
+  blob.meta.when = static_cast<double>(step);
+
+  const std::uint64_t progress[2] = {step, frozen_steps_};
+  const std::size_t mat_bytes = layout_.n * layout_.n * sizeof(double);
+  const std::size_t cs_bytes = layout_.csr * layout_.n * sizeof(double);
+  const struct {
+    ckpt::RegionId id;
+    const void* src;
+    std::size_t bytes;
+  } regions[] = {
+      {kRegionProgress, progress, sizeof(progress)},
+      {kRegionMatrix, shared_.matrix, mat_bytes},
+      {kRegionActive, shared_.active, cs_bytes},
+      {kRegionFrozen, shared_.frozen, cs_bytes},
+  };
+  for (const auto& r : regions) {
+    ckpt::io::RegionBlob rb;
+    rb.region = r.id;
+    rb.payload.resize(r.bytes);
+    std::memcpy(rb.payload.data(), r.src, r.bytes);
+    rb.crc = payload_crc(rb.payload.data(), r.bytes);
+    blob.regions.push_back(std::move(rb));
+    blob.meta.bytes += r.bytes;
+  }
+  return blob;
+}
+
+void Launcher::load_blob(const ckpt::io::SnapshotBlob& blob) {
+  const std::size_t mat_bytes = layout_.n * layout_.n * sizeof(double);
+  const std::size_t cs_bytes = layout_.csr * layout_.n * sizeof(double);
+  std::uint64_t progress[2] = {0, 0};
+  for (const ckpt::io::RegionBlob& r : blob.regions) {
+    switch (r.region) {
+      case kRegionProgress:
+        ABFTC_CHECK(r.payload.size() == sizeof(progress),
+                    "dist snapshot progress region has the wrong size");
+        std::memcpy(progress, r.payload.data(), sizeof(progress));
+        break;
+      case kRegionMatrix:
+        ABFTC_CHECK(r.payload.size() == mat_bytes,
+                    "dist snapshot matrix region has the wrong size");
+        std::memcpy(shared_.matrix, r.payload.data(), mat_bytes);
+        break;
+      case kRegionActive:
+        ABFTC_CHECK(r.payload.size() == cs_bytes,
+                    "dist snapshot active-checksum region has the wrong size");
+        std::memcpy(shared_.active, r.payload.data(), cs_bytes);
+        break;
+      case kRegionFrozen:
+        ABFTC_CHECK(r.payload.size() == cs_bytes,
+                    "dist snapshot frozen-checksum region has the wrong size");
+        std::memcpy(shared_.frozen, r.payload.data(), cs_bytes);
+        break;
+      default:
+        ABFTC_CHECK(false, "dist snapshot has an unknown region");
+    }
+  }
+  frozen_steps_ = static_cast<std::size_t>(progress[1]);
+}
+
+void Launcher::checkpoint(std::size_t boundary, RunReport& report) {
+  // Replay revisits earlier boundaries; their snapshots already exist (or
+  // already failed), so only first encounters write.
+  if (max_boundary_attempted_ != std::numeric_limits<std::size_t>::max() &&
+      boundary <= max_boundary_attempted_)
+    return;
+  max_boundary_attempted_ = boundary;
+  ++report.checkpoints;
+  try {
+    backend_.write_snapshot(make_blob(boundary));
+  } catch (const ckpt::io::io_error&) {
+    // An injected (or real) commit failure costs this protection point but
+    // not the run: recovery falls back to the previous snapshot.
+  }
+}
+
+std::size_t Launcher::restore_and_respawn(RunReport& report) {
+  const auto t0 = Clock::now();
+  const auto blob = ckpt::io::latest_restorable(backend_);
+  load_blob(blob ? *blob : initial_);
+  const std::size_t resume = frozen_steps_;
+  report.restore_seconds += seconds_since(t0);
+  ++report.restores;
+  report.restored_to_steps.push_back(resume);
+
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
+    if (ranks_[r].pid > 0) continue;
+    reset(shared_.cmd[r]);
+    reset(shared_.rsp[r]);
+    spawn(r);
+    ++report.respawns;
+  }
+  return resume;
+}
+
+double Launcher::residual_now() const {
+  // Recompute both accumulators from the payload (AbftLu::checksum_residual
+  // over the arena): the invariant holds at every step boundary, so any
+  // excess residual is silent corruption.
+  const abft::ConstMatrixView a(shared_.matrix, layout_.n, layout_.n,
+                                layout_.n);
+  const abft::ConstMatrixView active(shared_.active, layout_.csr, layout_.n,
+                                     layout_.n);
+  const abft::ConstMatrixView frozen(shared_.frozen, layout_.csr, layout_.n,
+                                     layout_.n);
+  double worst = 0.0;
+  for (std::size_t g = 0; g < layout_.groups; ++g) {
+    for (std::size_t r = 0; r < layout_.nb; ++r) {
+      for (std::size_t j = 0; j < layout_.n; ++j) {
+        double expect_active = 0.0, expect_frozen = 0.0;
+        for (std::size_t m = 0; m < layout_.group; ++m) {
+          const std::size_t bi = g * layout_.group + m;
+          const double v = a(bi * layout_.nb + r, j);
+          (bi < frozen_steps_ ? expect_frozen : expect_active) += v;
+        }
+        const std::size_t row = g * layout_.nb + r;
+        worst = std::max(worst, std::abs(expect_active - active(row, j)));
+        worst = std::max(worst, std::abs(expect_frozen - frozen(row, j)));
+      }
+    }
+  }
+  return worst;
+}
+
+void Launcher::inject_flip(const Injection& inj, std::uint64_t seed,
+                           RunReport& report) {
+  abft::MatrixView a = shared_.a();
+  common::Rng rng(seed);
+
+  // Victim site: an owned column block of the victim rank, any block row,
+  // preferring an element large enough that one exponent-bit flip moves the
+  // residual far above the clean-run noise floor.
+  std::vector<std::size_t> owned;
+  for (std::size_t j = inj.rank; j < nbk_; j += cfg_.ranks) owned.push_back(j);
+  ABFTC_CHECK(!owned.empty(), "victim rank owns no columns");
+  std::size_t bi = 0, bj = 0, er = 0, ec = 0;
+  double value = 0.0;
+  for (int probe = 0; probe < 1000; ++probe) {
+    bj = owned[rng.below(owned.size())];
+    bi = rng.below(nbk_);
+    er = rng.below(cfg_.nb);
+    ec = rng.below(cfg_.nb);
+    value = a(bi * cfg_.nb + er, bj * cfg_.nb + ec);
+    if (std::abs(value) > 1e-3) break;
+  }
+  ABFTC_CHECK(value != 0.0, "could not find a nonzero element to corrupt");
+
+  // Flip one exponent bit (52–62 of the IEEE-754 representation): the
+  // element changes by at least a factor of 2, the way a DRAM upset in the
+  // high bits would corrupt it.
+  std::uint64_t bits = 0;
+  double& victim = a(bi * cfg_.nb + er, bj * cfg_.nb + ec);
+  std::memcpy(&bits, &victim, sizeof(bits));
+  bits ^= std::uint64_t{1} << (52 + rng.below(11));
+  std::memcpy(&victim, &bits, sizeof(bits));
+
+  // Detection: the checksum invariant no longer holds.
+  auto t0 = Clock::now();
+  const double res = residual_now();
+  report.check_seconds += seconds_since(t0);
+  ABFTC_CHECK(res > 1e-8, "injected bit flip was not detected");
+
+  // Localization uses the campaign's ground truth (bi, bj) — standing in
+  // for a Huang–Abraham weighted-checksum locate (ROADMAP follow-up) —
+  // then reconstruction is the real dual-accumulator algebra: wipe the
+  // block, start from the matching accumulator, subtract the surviving
+  // group members in the same frozen/active class.
+  t0 = Clock::now();
+  const bool frozen = bi < frozen_steps_;
+  const abft::ConstMatrixView cs =
+      frozen ? abft::ConstMatrixView(shared_.frozen, layout_.csr, layout_.n,
+                                     layout_.n)
+             : abft::ConstMatrixView(shared_.active, layout_.csr, layout_.n,
+                                     layout_.n);
+  abft::MatrixView lost =
+      a.block(bi * cfg_.nb, bj * cfg_.nb, cfg_.nb, cfg_.nb);
+  abft::fill(lost, std::numeric_limits<double>::quiet_NaN());
+  const std::size_t g = bi / cfg_.group;
+  for (std::size_t r = 0; r < cfg_.nb; ++r)
+    for (std::size_t c = 0; c < cfg_.nb; ++c)
+      lost(r, c) = cs(g * cfg_.nb + r, bj * cfg_.nb + c);
+  const std::size_t first = g * cfg_.group;
+  for (std::size_t mi = first; mi < first + cfg_.group; ++mi) {
+    if (mi == bi) continue;
+    if ((mi < frozen_steps_) != frozen) continue;
+    const abft::ConstMatrixView other =
+        a.block(mi * cfg_.nb, bj * cfg_.nb, cfg_.nb, cfg_.nb);
+    if (abft::has_nan(other))
+      throw abft::unrecoverable_error(
+          "two lost blocks share a checksum group");
+    for (std::size_t r = 0; r < cfg_.nb; ++r)
+      for (std::size_t c = 0; c < cfg_.nb; ++c) lost(r, c) -= other(r, c);
+  }
+  report.recons_seconds += seconds_since(t0);
+  ++report.reconstructions;
+}
+
+RunReport Launcher::run(const std::vector<Injection>& faults) {
+  ABFTC_REQUIRE(!ran_, "a Launcher runs once; construct a fresh one");
+  ran_ = true;
+  for (const Injection& f : faults) {
+    ABFTC_REQUIRE(f.step < nbk_, "injection step out of range");
+    ABFTC_REQUIRE(f.rank < cfg_.ranks, "injection rank out of range");
+  }
+
+  // One inline compute thread for the whole run: the coordinator forks, and
+  // a child must never inherit a process whose executor pool is mid-kernel.
+  abft::KernelPolicy serial = abft::kernel_policy();
+  serial.threads = 1;
+  const abft::KernelPolicyGuard guard(serial);
+
+  RunReport report;
+  const auto wall0 = Clock::now();
+
+  // --- arena + initial state ------------------------------------------------
+  arena_ = std::make_unique<SharedRegion>(layout_.total_bytes);
+  shared_ = SharedState::attach(arena_->data(), layout_);
+  shared_.ctl->magic = kArenaMagic;
+  shared_.ctl->n = cfg_.n;
+  shared_.ctl->nb = cfg_.nb;
+  shared_.ctl->group = cfg_.group;
+  shared_.ctl->nranks = cfg_.ranks;
+
+  common::Rng rng(cfg_.seed);
+  const abft::Matrix a0 = abft::Matrix::diag_dominant(cfg_.n, rng);
+  std::memcpy(shared_.matrix, a0.storage().data(),
+              a0.storage().size() * sizeof(double));
+  const abft::Matrix cs0 =
+      abft::row_group_checksums(a0, cfg_.nb, cfg_.group);
+  std::memcpy(shared_.active, cs0.storage().data(),
+              cs0.storage().size() * sizeof(double));
+  // frozen starts zero (arena is zero-filled)
+  frozen_steps_ = 0;
+  initial_ = make_blob(0);
+
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) spawn(r);
+
+  // --- the factorization loop ----------------------------------------------
+  std::vector<bool> consumed(faults.size(), false);
+  const auto pending_at = [&](std::size_t step) -> const Injection* {
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (!consumed[i] && faults[i].step == step) {
+        consumed[i] = true;
+        return &faults[i];
+      }
+    return nullptr;
+  };
+
+  std::size_t k = 0;
+  while (k < nbk_) {
+    if (k % cfg_.ckpt_every == 0) checkpoint(k, report);
+
+    const auto t0 = Clock::now();
+    const Injection* inj = pending_at(k);
+    const std::size_t owner = owner_of(k, cfg_.ranks);
+
+    post(shared_.cmd[owner], MsgType::Panel, k);
+    if (inj != nullptr && inj->kind != FaultKind::Flip) {
+      // Kill / torn: SIGKILL the victim mid-step, right after the step's
+      // first command went out. (For torn the covering checkpoint write was
+      // already torn by the storage decorator.)
+      ::kill(ranks_[inj->rank].pid, SIGKILL);
+    }
+    bool ok = await_done(owner, k, report);
+
+    if (ok) {
+      for (std::size_t r = 0; r < cfg_.ranks; ++r)
+        post(shared_.cmd[r], MsgType::Update, k);
+      // Collect every rank's response before deciding: survivors must
+      // finish their writes so the arena is quiescent when we restore.
+      for (std::size_t r = 0; r < cfg_.ranks; ++r)
+        ok = await_done(r, k, report) && ok;
+    }
+
+    if (!ok) {
+      k = restore_and_respawn(report);
+      continue;
+    }
+
+    frozen_steps_ = k + 1;
+    if (report.step_seconds.size() == k)  // first execution, not a replay
+      report.step_seconds.push_back(seconds_since(t0));
+
+    if (inj != nullptr && inj->kind == FaultKind::Flip) {
+      const std::uint64_t base =
+          cfg_.flip_seed != 0 ? cfg_.flip_seed : cfg_.seed;
+      std::uint64_t mix = base + 0x9e3779b97f4a7c15ULL * (inj->step + 1);
+      inject_flip(*inj, common::splitmix64(mix), report);
+    }
+    ++k;
+  }
+
+  // --- final state + teardown ----------------------------------------------
+  report.residual = residual_now();
+  lu_ = abft::Matrix(layout_.n, layout_.n);
+  std::memcpy(lu_.storage().data(), shared_.matrix,
+              lu_.storage().size() * sizeof(double));
+  active_ = abft::Matrix(layout_.csr, layout_.n);
+  std::memcpy(active_.storage().data(), shared_.active,
+              active_.storage().size() * sizeof(double));
+  frozen_ = abft::Matrix(layout_.csr, layout_.n);
+  std::memcpy(frozen_.storage().data(), shared_.frozen,
+              frozen_.storage().size() * sizeof(double));
+
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
+    if (ranks_[r].pid <= 0) continue;
+    post(shared_.cmd[r], MsgType::Shutdown);
+    (void)await_done(r, 0, report);
+    if (ranks_[r].pid > 0) {
+      int status = 0;
+      ::waitpid(ranks_[r].pid, &status, 0);
+      ranks_[r].pid = -1;
+      ::close(ranks_[r].ready_fd);
+      ranks_[r].ready_fd = -1;
+    }
+  }
+  report.wall_seconds = seconds_since(wall0);
+  report.completed = true;
+  return report;
+}
+
+}  // namespace abftc::dist

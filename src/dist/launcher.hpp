@@ -1,0 +1,144 @@
+#pragma once
+/// \file launcher.hpp
+/// The coordinator of the distributed fault-injection runtime.
+///
+/// `Launcher::run` forks `ranks` worker processes over a shared-memory
+/// arena (channel.hpp) and drives the panel-cyclic ABFT LU (worker.hpp)
+/// step by step, taking checkpoints through a ckpt::io::StorageBackend at
+/// every `ckpt_every`-th block-step boundary and injecting the requested
+/// faults. Recovery composes the repo's two protection mechanisms exactly
+/// as the paper's composite strategy prescribes:
+///
+///   process death (kill/torn) → reap via waitpid, restore the newest
+///     restorable snapshot (ckpt::io::latest_restorable — skips torn
+///     writes) into the arena, respawn the dead rank, replay the lost
+///     steps. Workers are stateless between commands, so survivors need no
+///     handling at all. If storage holds nothing restorable the run falls
+///     back to its in-memory initial image (restart from step 0).
+///
+///   silent data corruption (flip) → the checksum-invariant residual
+///     detects it at the step boundary; the poisoned block is wiped and
+///     reconstructed from the matching accumulator by subtracting the
+///     surviving group members (the dual-accumulator scheme of AbftLu).
+///     Victim-block localization uses the campaign's ground truth — a
+///     stand-in for Huang–Abraham weighted checksums, which would locate
+///     the block from a second weighted accumulator (see ROADMAP).
+///
+/// Death detection is a poll loop: each response-wait probe checks the
+/// worker's mailbox, then waitpid(WNOHANG), then sleeps ~50 µs — a corpse
+/// is noticed within a fraction of a block step. The ready pipe written at
+/// spawn doubles as a liveness handle (POLLHUP on death).
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "abft/matrix.hpp"
+#include "ckpt/io/backend.hpp"
+#include "dist/fault.hpp"
+#include "dist/worker.hpp"
+
+namespace abftc::dist {
+
+struct DistConfig {
+  std::size_t n = 96;          ///< matrix dimension
+  std::size_t nb = 16;         ///< block size (nbk = n / nb block steps)
+  std::size_t ranks = 2;       ///< worker processes
+  std::size_t group = 3;       ///< block rows per checksum group
+  std::size_t ckpt_every = 2;  ///< checkpoint every k-th step boundary
+  std::uint64_t seed = 0xABF7C0DEULL;  ///< matrix initialization
+  /// Bit-flip site selection; 0 = derive from `seed`. Campaigns set this to
+  /// cell_seed(root, index) so every cell flips a distinct, replayable site
+  /// while all cells factor the same matrix.
+  std::uint64_t flip_seed = 0;
+  double step_timeout_s = 30.0;  ///< a rank silent this long is dead
+};
+
+/// One injection for a run. Kill and Torn both SIGKILL the victim right
+/// after the step's panel command is posted (for Torn the storage decorator
+/// has already torn the covering checkpoint); Flip corrupts one element
+/// after the step completes.
+struct Injection {
+  FaultKind kind = FaultKind::Kill;
+  std::size_t step = 0;
+  std::size_t rank = 0;
+};
+
+/// What one run did and what it cost.
+struct RunReport {
+  bool completed = false;
+  double wall_seconds = 0.0;
+  /// Per-step wall time of the *first* execution of each step (replayed
+  /// executions accrue to wall_seconds and restore/replay accounting only)
+  /// — the calibration input for per-cell predicted times.
+  std::vector<double> step_seconds;
+  std::size_t checkpoints = 0;      ///< snapshot writes attempted
+  std::size_t restores = 0;         ///< snapshot restores performed
+  std::size_t respawns = 0;         ///< dead ranks re-forked
+  std::size_t reconstructions = 0;  ///< checksum block reconstructions
+  std::vector<std::size_t> restored_to_steps;  ///< resume step per restore
+  double restore_seconds = 0.0;  ///< read + verify + copy-in, summed
+  double check_seconds = 0.0;    ///< residual verification, summed
+  double recons_seconds = 0.0;   ///< checksum reconstruction, summed
+  /// Checksum-invariant residual of the final state.
+  double residual = std::numeric_limits<double>::quiet_NaN();
+};
+
+class Launcher {
+ public:
+  /// `backend` is borrowed (campaigns wrap one in a FaultingBackend and
+  /// reuse it per cell); it must be open and outlive the launcher.
+  Launcher(DistConfig cfg, ckpt::io::StorageBackend& backend);
+  ~Launcher();
+  Launcher(const Launcher&) = delete;
+  Launcher& operator=(const Launcher&) = delete;
+
+  /// Factor once, injecting `faults` (at most one per step; steps in
+  /// [0, nbk)). Callable once per Launcher.
+  RunReport run(const std::vector<Injection>& faults = {});
+
+  [[nodiscard]] const DistConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t block_steps() const noexcept { return nbk_; }
+
+  // Final state, copied out of the arena after run() — valid afterwards.
+  [[nodiscard]] const abft::Matrix& lu() const noexcept { return lu_; }
+  [[nodiscard]] const abft::Matrix& active_cs() const noexcept {
+    return active_;
+  }
+  [[nodiscard]] const abft::Matrix& frozen_cs() const noexcept {
+    return frozen_;
+  }
+
+ private:
+  struct Rank;  // pid + ready fd + mailbox cursors
+
+  void spawn(std::size_t r);
+  void reap_all() noexcept;
+  [[nodiscard]] bool await_done(std::size_t r, std::size_t k,
+                                RunReport& report);
+  void checkpoint(std::size_t boundary, RunReport& report);
+  [[nodiscard]] std::size_t restore_and_respawn(RunReport& report);
+  void inject_flip(const Injection& inj, std::uint64_t seed,
+                   RunReport& report);
+  [[nodiscard]] double residual_now() const;
+  [[nodiscard]] ckpt::io::SnapshotBlob make_blob(std::size_t step) const;
+  void load_blob(const ckpt::io::SnapshotBlob& blob);
+
+  DistConfig cfg_;
+  ckpt::io::StorageBackend& backend_;
+  DistLayout layout_;
+  std::size_t nbk_ = 0;
+  std::unique_ptr<SharedRegion> arena_;
+  SharedState shared_;
+  std::vector<Rank> ranks_;
+  ckpt::io::SnapshotBlob initial_;  ///< restart-from-scratch fallback
+  /// Highest boundary whose checkpoint was already attempted (SIZE_MAX =
+  /// none): replay after a restore must not re-write an existing snapshot.
+  std::size_t max_boundary_attempted_ = std::numeric_limits<std::size_t>::max();
+  std::size_t frozen_steps_ = 0;  ///< block rows frozen in the arena state
+  bool ran_ = false;
+  abft::Matrix lu_, active_, frozen_;
+};
+
+}  // namespace abftc::dist

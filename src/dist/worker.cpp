@@ -1,0 +1,178 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "abft/blas.hpp"
+#include "abft/kernels.hpp"
+#include "common/error.hpp"
+
+namespace abftc::dist {
+
+namespace {
+
+constexpr std::size_t align64(std::size_t x) { return (x + 63) & ~std::size_t{63}; }
+
+}  // namespace
+
+DistLayout DistLayout::compute(std::size_t n, std::size_t nb,
+                               std::size_t group, std::size_t nranks) {
+  ABFTC_REQUIRE(n > 0 && nb > 0 && n % nb == 0,
+                "dimension must be a positive multiple of the block size");
+  DistLayout lay;
+  lay.n = n;
+  lay.nb = nb;
+  lay.nbk = n / nb;
+  ABFTC_REQUIRE(group > 0 && lay.nbk % group == 0,
+                "block count must be a multiple of the checksum group size");
+  ABFTC_REQUIRE(nranks > 0, "need at least one rank");
+  lay.group = group;
+  lay.groups = lay.nbk / group;
+  lay.csr = lay.groups * nb;
+  lay.nranks = nranks;
+
+  std::size_t off = align64(sizeof(ControlBlock));
+  lay.cmd_off = off;
+  off += nranks * sizeof(Mailbox);
+  lay.rsp_off = off;
+  off += nranks * sizeof(Mailbox);
+  off = align64(off);
+  lay.matrix_off = off;
+  off += n * n * sizeof(double);
+  lay.active_off = off;
+  off += lay.csr * n * sizeof(double);
+  lay.frozen_off = off;
+  off += lay.csr * n * sizeof(double);
+  lay.total_bytes = off;
+  return lay;
+}
+
+SharedState SharedState::attach(void* base, const DistLayout& lay) {
+  auto* bytes = static_cast<std::byte*>(base);
+  SharedState s;
+  s.ctl = reinterpret_cast<ControlBlock*>(bytes);
+  s.cmd = reinterpret_cast<Mailbox*>(bytes + lay.cmd_off);
+  s.rsp = reinterpret_cast<Mailbox*>(bytes + lay.rsp_off);
+  s.matrix = reinterpret_cast<double*>(bytes + lay.matrix_off);
+  s.active = reinterpret_cast<double*>(bytes + lay.active_off);
+  s.frozen = reinterpret_cast<double*>(bytes + lay.frozen_off);
+  s.layout = lay;
+  return s;
+}
+
+void panel_phase(const SharedState& s, std::size_t k) {
+  const DistLayout& lay = s.layout;
+  const std::size_t nb = lay.nb;
+  const std::size_t off = k * nb;
+  const std::size_t rest = lay.n - off - nb;
+  const std::size_t g = k / lay.group;
+  abft::MatrixView a = s.a();
+  abft::MatrixView active = s.active_cs();
+
+  // Pre-subtract the pivot block row's column block k from the active
+  // accumulator (the other column blocks are pre-subtracted by their owners
+  // in the update phase, before anything modifies the pivot row there).
+  for (std::size_t r = 0; r < nb; ++r)
+    for (std::size_t c = 0; c < nb; ++c)
+      active(g * nb + r, off + c) -= a(off + r, off + c);
+
+  abft::MatrixView diag = a.block(off, off, nb, nb);
+  abft::getf2_nopiv(diag);
+
+  if (rest > 0) abft::trsm_right_upper(diag, a.block(off + nb, off, rest, nb));
+  abft::trsm_right_upper(diag, active.block(0, off, lay.csr, nb));
+}
+
+void update_phase(const SharedState& s, std::size_t rank, std::size_t k) {
+  const DistLayout& lay = s.layout;
+  const std::size_t nb = lay.nb;
+  const std::size_t off = k * nb;
+  const std::size_t g = k / lay.group;
+  abft::MatrixView a = s.a();
+  abft::MatrixView active = s.active_cs();
+  abft::MatrixView frozen = s.frozen_cs();
+  const abft::ConstMatrixView diag = a.block(off, off, nb, nb);
+
+  for (std::size_t j = rank; j < lay.nbk; j += lay.nranks) {
+    const std::size_t jc = j * nb;
+    if (j != k) {
+      // Pre-subtract the pivot row at this column block (its pre-step
+      // values: for j > k the trsm below hasn't touched them yet).
+      for (std::size_t r = 0; r < nb; ++r)
+        for (std::size_t c = 0; c < nb; ++c)
+          active(g * nb + r, jc + c) -= a(off + r, jc + c);
+      if (j > k) {
+        abft::MatrixView u = a.block(off, jc, nb, nb);
+        abft::trsm_left_lower_unit(diag, u);
+        const std::size_t rest = lay.n - off - nb;
+        abft::gemm_sub(a.block(off + nb, off, rest, nb), u,
+                       a.block(off + nb, jc, rest, nb));
+        abft::gemm_sub(active.block(0, off, lay.csr, nb), u,
+                       active.block(0, jc, lay.csr, nb));
+      }
+    }
+    // Freeze the finalized pivot row values of this column block.
+    for (std::size_t r = 0; r < nb; ++r)
+      for (std::size_t c = 0; c < nb; ++c)
+        frozen(g * nb + r, jc + c) += a(off + r, jc + c);
+  }
+}
+
+void worker_main(void* arena, const DistLayout& lay, std::size_t rank,
+                 int ready_fd) {
+  // One inline thread, always: the forked child inherits only the calling
+  // thread, so the parent's executor pool (and any mutex a pool thread held
+  // at fork time) must never be touched. parallel_for with threads <= 1
+  // runs inline without consulting the executor.
+  abft::KernelPolicy policy = abft::kernel_policy();
+  policy.threads = 1;
+  abft::set_kernel_policy(policy);
+
+  const SharedState s = SharedState::attach(arena, lay);
+  if (s.ctl->magic != kArenaMagic || s.ctl->n != lay.n ||
+      s.ctl->nb != lay.nb || s.ctl->group != lay.group ||
+      s.ctl->nranks != lay.nranks)
+    ::_exit(101);  // attached to the wrong arena; nothing sane to do
+
+  // Snapshot the command cursor BEFORE signalling readiness: the instant
+  // the ready byte lands, the coordinator may post the first command, and a
+  // snapshot taken after that post would silently swallow it (the worker
+  // would then wait on a frame that never comes). The coordinator zeroes
+  // the mailboxes before every fork, so this reads 0 for first spawns and
+  // respawns alike.
+  std::uint64_t last_seen = s.cmd[rank].seq.load(std::memory_order_acquire);
+
+  // Ready handshake: one byte tells the coordinator this rank is serving.
+  // The fd stays open for the worker's lifetime — the coordinator sees
+  // POLLHUP on it the instant this process dies, however it dies.
+  const char ready = 1;
+  if (::write(ready_fd, &ready, 1) != 1) ::_exit(102);
+  while (true) {
+    std::optional<Message> msg;
+    try {
+      // Effectively blocking: the coordinator decides all timeouts.
+      msg = recv(s.cmd[rank], last_seen, 3600.0);
+    } catch (const dist_error&) {
+      ::_exit(103);  // corrupt frame: die loudly, coordinator recovers
+    }
+    if (!msg) continue;
+    switch (msg->type) {
+      case MsgType::Panel:
+        panel_phase(s, static_cast<std::size_t>(msg->args[0]));
+        post(s.rsp[rank], MsgType::Done, msg->args[0]);
+        break;
+      case MsgType::Update:
+        update_phase(s, rank, static_cast<std::size_t>(msg->args[0]));
+        post(s.rsp[rank], MsgType::Done, msg->args[0]);
+        break;
+      case MsgType::Shutdown:
+        post(s.rsp[rank], MsgType::Done, msg->args[0]);
+        ::_exit(0);
+      default:
+        ::_exit(104);
+    }
+  }
+}
+
+}  // namespace abftc::dist

@@ -289,6 +289,50 @@ TEST(MmapBackend, ReclaimsTornReservationOnReopen) {
   EXPECT_NO_THROW(backend->write_snapshot(sample_blob(2, 100, 100)));
 }
 
+TEST(MmapBackend, ReclaimsCommittedSlotWithTornGeometryOnReopen) {
+  // A SIGKILLed committer can leave a slot whose `committed` flag reached
+  // the file while the rest of the record did not (the flag is stored last,
+  // but page writeback order is not guaranteed across a crash). Such a slot
+  // is flagged live yet describes no snapshot inside the arena — open()
+  // must treat it as torn, not serve it.
+  TempDir tmp;
+  const fs::path arena = tmp.path() / "arena.ckpt";
+  const std::string spec = "mmap:" + arena.string() + "?mb=8";
+  std::size_t free_after_commit = 0;
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 1000, 500));
+    free_after_commit =
+        dynamic_cast<MmapBackend*>(backend.get())->free_bytes();
+  }
+  {
+    // Fabricate slot 1 by hand: used = committed = 1, id = 77, but with an
+    // offset outside the arena and seq = 0 (never issued). Header is 40 B,
+    // slots are 64 B: {used u32, committed u32, id u64, kind u32,
+    // region_count u32, when f64, entry_link u64, bytes u64, offset u64,
+    // seq u64}.
+    std::fstream io(arena, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(io.good());
+    const std::uint64_t slot1 = 40 + 64;
+    const std::uint32_t one = 1;
+    io.seekp(static_cast<std::streamoff>(slot1));
+    io.write(reinterpret_cast<const char*>(&one), 4);  // used
+    io.write(reinterpret_cast<const char*>(&one), 4);  // committed
+    const std::uint64_t id = 77;
+    io.write(reinterpret_cast<const char*>(&id), 8);
+    const std::uint64_t garbage_offset = 1ull << 40;  // far past capacity
+    io.seekp(static_cast<std::streamoff>(slot1 + 48));
+    io.write(reinterpret_cast<const char*>(&garbage_offset), 8);
+  }
+  const auto backend = make_backend(spec);
+  ASSERT_EQ(backend->list().size(), 1u);  // only the real snapshot is live
+  EXPECT_EQ(backend->list()[0].id, 1u);
+  EXPECT_THROW((void)backend->read_snapshot(77), io_error);
+  EXPECT_EQ(dynamic_cast<MmapBackend*>(backend.get())->free_bytes(),
+            free_after_commit);  // the phantom slot holds no arena bytes
+  EXPECT_NO_THROW(backend->write_snapshot(sample_blob(2, 100, 100)));
+}
+
 TEST(MmapBackend, ReportsArenaExhaustion) {
   TempDir tmp;
   const auto backend =
@@ -468,6 +512,27 @@ void corrupt_snapshot_file(const fs::path& store, CkptId id) {
   b = static_cast<char>(b ^ 0x01);
   io.seekp(pos);
   io.write(&b, 1);
+}
+
+TEST(LatestRestorable, SkipsCorruptNewestAndFallsBack) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  const std::string spec = "file:" + store.string();
+  {
+    const auto backend = make_backend(spec);
+    EXPECT_FALSE(latest_restorable(*backend).has_value());  // empty store
+    backend->write_snapshot(sample_blob(1, 4000, 1000));
+    backend->write_snapshot(sample_blob(2, 4000, 1000));
+    const auto best = latest_restorable(*backend);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->meta.id, 2u);  // newest wins while it verifies
+  }
+  corrupt_snapshot_file(store, 2);
+  const auto backend = make_backend(spec);
+  const auto best = latest_restorable(*backend);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->meta.id, 1u);  // falls back past the corrupt newest
+  EXPECT_NO_THROW(best->verify());
 }
 
 TEST(FileBackendIntegrity, CorruptedPayloadFailsRestore) {

@@ -137,6 +137,53 @@ TEST(Cli, RejectsMalformedLists) {
   EXPECT_THROW((void)args.get_list("c"), precondition_error);
 }
 
+TEST(KeyValues, ParsesStructuredSpecs) {
+  const auto items = parse_key_values("steps:0-12,ranks:0-3,direct");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].key, "steps");
+  EXPECT_EQ(items[0].value, "0-12");
+  EXPECT_EQ(items[1].key, "ranks");
+  EXPECT_EQ(items[1].value, "0-3");
+  EXPECT_EQ(items[2].key, "direct");  // bare switch: empty value
+  EXPECT_EQ(items[2].value, "");
+
+  // Custom separators (the --storage option syntax).
+  const auto opts = parse_key_values("mb=16&sync=1", '&', '=');
+  ASSERT_EQ(opts.size(), 2u);
+  EXPECT_EQ(opts[0].key, "mb");
+  EXPECT_EQ(opts[0].value, "16");
+
+  // Duplicates are kept in order; find_key_value returns the first.
+  const auto dup = parse_key_values("k:1,k:2");
+  ASSERT_EQ(dup.size(), 2u);
+  EXPECT_EQ(find_key_value(dup, "k"), "1");
+  EXPECT_EQ(find_key_value(dup, "absent"), std::nullopt);
+}
+
+TEST(KeyValues, RejectsEmptyItemsAndKeys) {
+  EXPECT_THROW((void)parse_key_values(""), precondition_error);
+  EXPECT_THROW((void)parse_key_values("a:1,,b:2"), precondition_error);
+  EXPECT_THROW((void)parse_key_values(":1"), precondition_error);
+}
+
+TEST(Cli, ParsesKeyValueFlags) {
+  const char* argv[] = {"prog", "--campaign=steps:0-5,kinds:kill", "--bad=",
+                        nullptr};
+  ArgParser args(3, argv);
+  const auto items = args.get_key_values("campaign");
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].key, "steps");
+  EXPECT_EQ(items[0].value, "0-5");
+  EXPECT_EQ(items[1].key, "kinds");
+  EXPECT_EQ(items[1].value, "kill");
+
+  // Absent flag -> default; present-but-empty flag is malformed.
+  const auto def = args.get_key_values("absent", {{"k", "v"}});
+  ASSERT_EQ(def.size(), 1u);
+  EXPECT_EQ(def[0].key, "k");
+  EXPECT_THROW((void)args.get_key_values("bad"), precondition_error);
+}
+
 TEST(Cli, WarnsOnUnknownFlags) {
   const char* argv[] = {"prog", "--reps=3", "--typo-flag=1", "--other",
                         nullptr};

@@ -1,0 +1,354 @@
+// Tests for the distributed fault-injection runtime: mailbox framing
+// (seq/CRC protocol), campaign enumeration and deterministic sharding, the
+// FaultingBackend write decorator, and the forked Launcher end to end —
+// clean runs vs the serial AbftLu reference, SIGKILL + respawn + restore
+// replay determinism, bit-flip reconstruction, torn-checkpoint fallback,
+// and a mini campaign in which every cell recovers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "abft/abft_lu.hpp"
+#include "abft/checksum.hpp"
+#include "abft/grid.hpp"
+#include "abft/matrix.hpp"
+#include "ckpt/io/backend.hpp"
+#include "ckpt/io/faulting.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/campaign.hpp"
+#include "dist/channel.hpp"
+#include "dist/fault.hpp"
+#include "dist/launcher.hpp"
+
+namespace {
+
+using namespace abftc;
+using namespace abftc::dist;
+
+// --- mailbox framing --------------------------------------------------------
+
+TEST(Mailbox, RoundTripsFrames) {
+  Mailbox mb;
+  reset(mb);
+  std::uint64_t last_seen = 0;
+
+  EXPECT_FALSE(try_recv(mb, last_seen).has_value());  // nothing posted yet
+
+  post(mb, MsgType::Panel, 3, 7);
+  const auto msg = try_recv(mb, last_seen);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::Panel);
+  EXPECT_EQ(msg->args[0], 3u);
+  EXPECT_EQ(msg->args[1], 7u);
+  EXPECT_EQ(last_seen, 1u);
+  EXPECT_FALSE(try_recv(mb, last_seen).has_value());  // consumed exactly once
+
+  post(mb, MsgType::Done, 3);
+  ASSERT_TRUE(try_recv(mb, last_seen).has_value());
+  EXPECT_EQ(last_seen, 2u);
+}
+
+TEST(Mailbox, RejectsCorruptFrames) {
+  Mailbox mb;
+  reset(mb);
+  std::uint64_t last_seen = 0;
+  post(mb, MsgType::Update, 5);
+  mb.args[0] = 6;  // payload corrupted after the CRC was computed
+  EXPECT_THROW((void)try_recv(mb, last_seen), dist_error);
+}
+
+TEST(Mailbox, BlockingRecvTimesOut) {
+  Mailbox mb;
+  reset(mb);
+  std::uint64_t last_seen = 0;
+  EXPECT_FALSE(recv(mb, last_seen, 0.01).has_value());
+}
+
+// --- campaign enumeration ---------------------------------------------------
+
+TEST(CampaignSpec, ParsesAndRoundTrips) {
+  const auto spec = CampaignSpec::parse("steps:2-5,ranks:0-3,kinds:kill+torn");
+  EXPECT_EQ(spec.step_lo, 2u);
+  EXPECT_EQ(spec.step_hi, 5u);
+  EXPECT_EQ(spec.rank_lo, 0u);
+  EXPECT_EQ(spec.rank_hi, 3u);
+  ASSERT_EQ(spec.kinds.size(), 2u);
+  EXPECT_EQ(spec.kinds[0], FaultKind::Kill);
+  EXPECT_EQ(spec.kinds[1], FaultKind::Torn);
+  EXPECT_EQ(spec.cell_count(), 4u * 4u * 2u);
+
+  const auto again = CampaignSpec::parse(spec.to_spec());
+  EXPECT_EQ(again.to_spec(), spec.to_spec());
+
+  // Single-value ranges and reordered keys are accepted.
+  const auto single = CampaignSpec::parse("kinds:flip,steps:3,ranks:1");
+  EXPECT_EQ(single.cell_count(), 1u);
+  EXPECT_EQ(single.cell(0).step, 3u);
+  EXPECT_EQ(single.cell(0).rank, 1u);
+  EXPECT_EQ(single.cell(0).kind, FaultKind::Flip);
+}
+
+TEST(CampaignSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)CampaignSpec::parse(""), common::precondition_error);
+  EXPECT_THROW((void)CampaignSpec::parse("steps:0-1,ranks:0"),
+               common::precondition_error);  // kinds missing
+  EXPECT_THROW((void)CampaignSpec::parse("steps:5-2,ranks:0,kinds:kill"),
+               common::precondition_error);  // inverted range
+  EXPECT_THROW((void)CampaignSpec::parse("steps:0,ranks:0,kinds:melt"),
+               common::precondition_error);  // unknown kind
+}
+
+TEST(CampaignSpec, EnumeratesRowMajorAndShardsPartition) {
+  const auto spec =
+      CampaignSpec::parse("steps:1-3,ranks:0-1,kinds:kill+flip+torn");
+  ASSERT_EQ(spec.cell_count(), 18u);
+
+  // Row-major: step-major, then rank, then kind.
+  EXPECT_EQ(spec.cell(0).step, 1u);
+  EXPECT_EQ(spec.cell(0).rank, 0u);
+  EXPECT_EQ(spec.cell(0).kind, FaultKind::Kill);
+  EXPECT_EQ(spec.cell(2).kind, FaultKind::Torn);
+  EXPECT_EQ(spec.cell(3).rank, 1u);
+  EXPECT_EQ(spec.cell(6).step, 2u);
+  for (std::size_t i = 0; i < spec.cell_count(); ++i)
+    EXPECT_EQ(spec.cell(i).index, i);
+
+  // Shards partition [0, cell_count()): every index exactly once.
+  std::set<std::size_t> seen;
+  for (std::size_t shard = 0; shard < 4; ++shard)
+    for (const std::size_t i : spec.shard_indices(shard, 4)) {
+      EXPECT_EQ(i % 4, shard);
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " duplicated";
+    }
+  EXPECT_EQ(seen.size(), spec.cell_count());
+}
+
+TEST(CampaignSpec, CellSeedsAreDeterministicAndDistinct) {
+  EXPECT_EQ(cell_seed(42, 7), cell_seed(42, 7));
+  EXPECT_NE(cell_seed(42, 7), cell_seed(42, 8));
+  EXPECT_NE(cell_seed(42, 7), cell_seed(43, 7));
+}
+
+// --- FaultingBackend --------------------------------------------------------
+
+ckpt::io::SnapshotBlob tiny_blob(ckpt::CkptId id) {
+  ckpt::io::SnapshotBlob blob;
+  blob.meta.id = id;
+  blob.meta.kind = ckpt::CkptKind::Full;
+  blob.meta.when = static_cast<double>(id);
+  ckpt::io::RegionBlob r;
+  r.region = 0;
+  r.payload.assign(256, std::byte{0x5A});
+  r.crc = common::crc32(std::span(r.payload));
+  blob.meta.bytes = r.payload.size();
+  blob.regions.push_back(std::move(r));
+  return blob;
+}
+
+TEST(FaultingBackend, TornPayloadCommitsCorruptBytes) {
+  const auto inner = ckpt::io::make_backend("memory");
+  ckpt::io::FaultingBackend faulting(
+      *inner, {{1, ckpt::io::WriteFault::TornPayload}});
+
+  faulting.write_snapshot(tiny_blob(1));  // write 0: clean
+  faulting.write_snapshot(tiny_blob(2));  // write 1: torn
+  EXPECT_EQ(faulting.writes_started(), 2u);
+  EXPECT_EQ(faulting.faults_fired(), 1u);
+
+  // The torn snapshot committed — it is visible — but its payload fails
+  // verification, which is exactly what the restore path must survive.
+  ASSERT_EQ(faulting.list().size(), 2u);
+  EXPECT_NO_THROW(faulting.read_snapshot(1).verify());
+  EXPECT_THROW(faulting.read_snapshot(2).verify(), ckpt::io::io_error);
+
+  // latest_restorable walks past the torn newest to the older clean one.
+  const auto best = ckpt::io::latest_restorable(faulting);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->meta.id, 1u);
+}
+
+TEST(FaultingBackend, FailedCommitLeavesNoSnapshot) {
+  const auto inner = ckpt::io::make_backend("memory");
+  ckpt::io::FaultingBackend faulting(
+      *inner, {{0, ckpt::io::WriteFault::FailedCommit}});
+
+  EXPECT_THROW(faulting.write_snapshot(tiny_blob(1)), ckpt::io::io_error);
+  EXPECT_TRUE(faulting.list().empty());
+  EXPECT_TRUE(inner->list().empty());
+
+  // The backend keeps working for later, unfaulted writes.
+  EXPECT_NO_THROW(faulting.write_snapshot(tiny_blob(2)));
+  EXPECT_EQ(faulting.list().size(), 1u);
+}
+
+// --- the forked runtime -----------------------------------------------------
+
+DistConfig small_config() {
+  DistConfig cfg;
+  cfg.n = 96;
+  cfg.nb = 16;
+  cfg.ranks = 2;
+  cfg.group = 3;
+  cfg.ckpt_every = 2;
+  cfg.seed = 0x5EEDull;
+  return cfg;
+}
+
+TEST(DistLauncher, CleanRunMatchesSerialAbftLu) {
+  const DistConfig cfg = small_config();
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher launcher(cfg, *backend);
+  const RunReport report = launcher.run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.restores, 0u);
+  EXPECT_EQ(report.respawns, 0u);
+  EXPECT_EQ(report.reconstructions, 0u);
+  EXPECT_LT(report.residual, 1e-8);
+  EXPECT_EQ(report.step_seconds.size(), launcher.block_steps());
+  EXPECT_EQ(report.checkpoints,
+            (launcher.block_steps() + cfg.ckpt_every - 1) / cfg.ckpt_every);
+
+  // The panel-cyclic two-phase schedule computes the same factorization the
+  // serial dual-accumulator AbftLu does.
+  common::Rng rng(cfg.seed);
+  abft::AbftLu serial(abft::Matrix::diag_dominant(cfg.n, rng), cfg.nb,
+                      abft::ProcessGrid{cfg.group, 1});
+  serial.factor();
+  EXPECT_LT(abft::relative_error(launcher.lu(), serial.lu()), 1e-12);
+}
+
+TEST(DistLauncher, RepeatRunsAreBitwiseIdentical) {
+  const DistConfig cfg = small_config();
+  const auto b1 = ckpt::io::make_backend("memory");
+  const auto b2 = ckpt::io::make_backend("memory");
+  Launcher first(cfg, *b1), second(cfg, *b2);
+  (void)first.run();
+  (void)second.run();
+  EXPECT_EQ(abft::max_abs_diff(first.lu(), second.lu()), 0.0);
+}
+
+TEST(DistLauncher, RunsOnceOnly) {
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher launcher(small_config(), *backend);
+  (void)launcher.run();
+  EXPECT_THROW((void)launcher.run(), common::precondition_error);
+}
+
+TEST(DistLauncher, KillRecoversByRestoreAndReplay) {
+  const DistConfig cfg = small_config();
+  const auto clean_backend = ckpt::io::make_backend("memory");
+  Launcher clean(cfg, *clean_backend);
+  (void)clean.run();
+
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher injected(cfg, *backend);
+  const RunReport report = injected.run({{FaultKind::Kill, 3, 1}});
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.restores, 1u);
+  EXPECT_EQ(report.respawns, 1u);
+  EXPECT_EQ(report.reconstructions, 0u);
+  ASSERT_EQ(report.restored_to_steps.size(), 1u);
+  // Step 3 with ckpt_every=2: the covering boundary is step 2.
+  EXPECT_EQ(report.restored_to_steps[0], 2u);
+  EXPECT_LT(report.residual, 1e-8);
+
+  // Deterministic replay: the recovered run is bitwise the uninjected one.
+  EXPECT_EQ(abft::max_abs_diff(injected.lu(), clean.lu()), 0.0);
+}
+
+TEST(DistLauncher, FlipRecoversByChecksumReconstruction) {
+  const DistConfig cfg = small_config();
+  const auto clean_backend = ckpt::io::make_backend("memory");
+  Launcher clean(cfg, *clean_backend);
+  (void)clean.run();
+
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher injected(cfg, *backend);
+  const RunReport report = injected.run({{FaultKind::Flip, 2, 1}});
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.reconstructions, 1u);  // no process died
+  EXPECT_EQ(report.restores, 0u);
+  EXPECT_EQ(report.respawns, 0u);
+  EXPECT_LT(report.residual, 1e-8);
+  // Reconstruction is accumulator algebra, not bit replay: the factors agree
+  // to rounding, not bitwise.
+  EXPECT_LT(abft::relative_error(injected.lu(), clean.lu()), 1e-8);
+}
+
+TEST(DistLauncher, TornCheckpointFallsBackToOlderSnapshot) {
+  const DistConfig cfg = small_config();
+  const auto clean_backend = ckpt::io::make_backend("memory");
+  Launcher clean(cfg, *clean_backend);
+  (void)clean.run();
+
+  // Tear the write covering step 4 (boundary 4 = write index 2), then kill
+  // rank 0 at step 4: the restore must skip the torn snapshot and fall back
+  // to boundary 2, replaying two extra steps.
+  const auto inner = ckpt::io::make_backend("memory");
+  ckpt::io::FaultingBackend faulting(
+      *inner, {{4 / cfg.ckpt_every, ckpt::io::WriteFault::TornPayload}});
+  Launcher injected(cfg, faulting);
+  const RunReport report = injected.run({{FaultKind::Torn, 4, 0}});
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(faulting.faults_fired(), 1u);
+  EXPECT_EQ(report.restores, 1u);
+  EXPECT_EQ(report.respawns, 1u);
+  ASSERT_EQ(report.restored_to_steps.size(), 1u);
+  EXPECT_EQ(report.restored_to_steps[0], 2u);  // fell back past boundary 4
+  EXPECT_LT(report.residual, 1e-8);
+  EXPECT_EQ(abft::max_abs_diff(injected.lu(), clean.lu()), 0.0);
+}
+
+TEST(DistCampaign, MiniCampaignRecoversEveryCell) {
+  DistConfig cfg = small_config();
+  cfg.n = 48;  // 3 block steps: 3 × 2 ranks × 3 kinds = 18 cells
+  const auto spec =
+      CampaignSpec::parse("steps:0-2,ranks:0-1,kinds:kill+flip+torn");
+
+  const CampaignReport report = run_campaign(cfg, spec);
+  ASSERT_EQ(report.cells.size(), spec.cell_count());
+
+  std::set<std::size_t> indices;
+  for (const CellOutcome& c : report.cells) {
+    EXPECT_TRUE(c.recovered) << "cell " << c.cell.index << " ("
+                             << to_string(c.cell.kind) << " step "
+                             << c.cell.step << " rank " << c.cell.rank << ")";
+    EXPECT_TRUE(indices.insert(c.cell.index).second);
+    EXPECT_GT(c.measured_seconds, 0.0);
+    EXPECT_GT(c.predicted_seconds, 0.0);
+  }
+  EXPECT_EQ(indices.size(), spec.cell_count());
+  EXPECT_EQ(report.unrecovered, 0u);
+  EXPECT_GT(report.calib.t_clean, 0.0);
+  EXPECT_EQ(report.calib.step_seconds.size(), cfg.n / cfg.nb);
+}
+
+TEST(DistCampaign, ShardsCoverTheCampaignExactlyOnce) {
+  DistConfig cfg = small_config();
+  cfg.n = 48;
+  const auto spec = CampaignSpec::parse("steps:0-2,ranks:0-1,kinds:kill");
+
+  std::set<std::size_t> indices;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    CampaignOptions options;
+    options.shard = shard;
+    options.nshards = 2;
+    const CampaignReport report = run_campaign(cfg, spec, options);
+    EXPECT_EQ(report.unrecovered, 0u);
+    for (const CellOutcome& c : report.cells)
+      EXPECT_TRUE(indices.insert(c.cell.index).second);
+  }
+  EXPECT_EQ(indices.size(), spec.cell_count());
+}
+
+}  // namespace
