@@ -1,18 +1,26 @@
 /// \file micro_ckpt_io.cpp
 /// Checkpoint I/O microbenchmark: commit latency and restore bandwidth per
-/// storage backend (memory / file / mmap) at several image sizes, comparing
-/// the serial copy→CRC→write reference against the CkptWriter pipeline that
-/// overlaps the CRC with backend writes.
+/// storage backend (memory / file / mmap / log) at several image sizes,
+/// comparing the serial copy→CRC→write reference against the CkptWriter
+/// pipeline that overlaps the CRC with backend writes.
 ///
-///   micro_ckpt_io --backends=memory,file,mmap --sizes-mb=2,8,32 --reps=4
-///                 --dir=/tmp/abftc_ckpt_io --chunk-kb=1024
-///                 --out=BENCH_ckpt_io.json
+///   micro_ckpt_io --backends=memory,file,mmap,log --sizes-mb=2,8,32
+///                 --reps=4 --dir=/tmp/abftc_ckpt_io --chunk-kb=1024
+///                 --committers=1,2,4,8 --out=BENCH_ckpt_io.json
 ///
 /// Per (backend, size) the artifact reports best-of-reps serial and async
 /// commit times, the speedup `serial_ms / async_ms`, and restore bandwidth;
 /// `best_async_speedup` is the maximum speedup observed (CI gates it — the
 /// pipeline must beat write-then-CRC somewhere — and skips the gate on
 /// single-core runners where there is no second core to hide the CRC on).
+///
+/// A second scenario measures the *commit storm*: per (backend, committer
+/// count) a fresh store takes `committers` concurrent writer threads, each
+/// committing several fixed-size snapshots; the `committer_scaling` block
+/// reports aggregate commit throughput per cell. Backends that don't
+/// support concurrent committers are serialized on a mutex — their flat
+/// (or falling) curve against the log backend's rising one is the point of
+/// the comparison, and CI gates log ≥ 2× file at 4 committers.
 
 #include <algorithm>
 #include <chrono>
@@ -21,13 +29,16 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/image.hpp"
 #include "ckpt/io/backend.hpp"
 #include "ckpt/io/writer.hpp"
 #include "common/cli.hpp"
+#include "common/crc32.hpp"
 #include "common/executor.hpp"
 #include "common/json.hpp"
 
@@ -59,9 +70,78 @@ std::string backend_spec(const std::string& kind, const std::string& dir,
     const std::size_t mb = std::max<std::size_t>(8, (largest_bytes >> 20) + 4);
     return "mmap:" + dir + "/arena.ckpt?mb=" + std::to_string(mb);
   }
+  if (kind == "log") return "log:" + dir + "/log_store?shards=8";
   std::cerr << "error: unknown backend '" << kind
-            << "' (known: memory, file, mmap)\n";
+            << "' (known: memory, file, mmap, log)\n";
   std::exit(2);
+}
+
+struct ScalingRow {
+  std::string backend;
+  int committers = 0;
+  double wall_s = 0.0;        ///< best-of-reps round wall time
+  double commit_MBps = 0.0;   ///< aggregate across all committers
+};
+
+/// One commit-storm cell: `committers` threads, each committing `per_thread`
+/// snapshots of `bytes` against a fresh store. The mmap arena must hold the
+/// whole round, so cells get their own store directory, removed afterwards.
+ScalingRow committer_cell(const std::string& kind, const std::string& dir,
+                          int committers, int per_thread, std::size_t bytes,
+                          int reps, std::span<const std::byte> payload) {
+  ScalingRow row;
+  row.backend = kind;
+  row.committers = committers;
+  row.wall_s = std::numeric_limits<double>::infinity();
+
+  ckpt::io::SnapshotBlob proto;
+  proto.meta.kind = ckpt::CkptKind::Full;
+  proto.meta.bytes = bytes;
+  ckpt::io::RegionBlob region;
+  region.region = 1;
+  region.crc = common::crc32(payload.subspan(0, bytes));
+  region.payload.assign(payload.begin(), payload.begin() + bytes);
+  proto.regions.push_back(std::move(region));
+
+  const std::string store = dir + "/cscale_" + kind;
+  const std::size_t total = bytes * committers * per_thread;
+  for (int rep = 0; rep < reps; ++rep) {
+    fs::remove_all(store);
+    fs::create_directories(store);
+    const std::size_t mb = std::max<std::size_t>(8, (total >> 20) + 8);
+    auto backend = ckpt::io::make_backend(
+        kind == "mmap" ? "mmap:" + store + "/arena.ckpt?mb=" +
+                             std::to_string(mb)
+                       : backend_spec(kind, store, total));
+    const bool concurrent = backend->concurrent_committers();
+    std::mutex serial;
+    std::vector<std::thread> threads;
+    threads.reserve(committers);
+    const auto t0 = Clock::now();
+    for (int t = 0; t < committers; ++t) {
+      threads.emplace_back([&, t] {
+        ckpt::io::SnapshotBlob blob = proto;
+        for (int c = 0; c < per_thread; ++c) {
+          blob.meta.id =
+              static_cast<ckpt::CkptId>(t * per_thread + c + 1);
+          blob.meta.when = static_cast<double>(blob.meta.id);
+          if (concurrent) {
+            backend->write_snapshot(blob);
+          } else {
+            std::lock_guard lock(serial);
+            backend->write_snapshot(blob);
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    row.wall_s = std::min(row.wall_s, seconds_since(t0));
+    backend.reset();
+    fs::remove_all(store);
+  }
+  row.commit_MBps =
+      (static_cast<double>(total) / (1024.0 * 1024.0)) / row.wall_s;
+  return row;
 }
 
 }  // namespace
@@ -69,8 +149,11 @@ std::string backend_spec(const std::string& kind, const std::string& dir,
 int main(int argc, char** argv) {
   const common::ArgParser args(argc, argv);
   const auto backends =
-      args.get_list("backends", {"memory", "file", "mmap"});
+      args.get_list("backends", {"memory", "file", "mmap", "log"});
   const auto sizes_mb = args.get_double_list("sizes-mb", {2, 8, 32});
+  const auto committer_counts =
+      args.get_double_list("committers", {1, 2, 4, 8});
+  const double commit_mb = args.get_double("commit-mb", 4.0);
   const int reps = static_cast<int>(args.get_int("reps", 4));
   const std::string dir =
       args.get_string("dir", (fs::temp_directory_path() / "abftc_ckpt_io")
@@ -138,6 +221,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Commit-storm scenario: fixed snapshot size, varying committer count.
+  const auto commit_bytes =
+      static_cast<std::size_t>(commit_mb * 1024.0 * 1024.0);
+  std::vector<std::byte> storm(commit_bytes);
+  for (std::size_t i = 0; i < storm.size(); ++i)
+    storm[i] = static_cast<std::byte>((i * 2246822519u) >> 11);
+  std::vector<ScalingRow> scaling;
+  for (const std::string& kind : backends)
+    for (const double c : committer_counts)
+      scaling.push_back(committer_cell(kind, dir, static_cast<int>(c), 3,
+                                       commit_bytes, reps,
+                                       std::span(storm)));
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "error: cannot open '" << out_path << "' for writing\n";
@@ -164,6 +260,17 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.kv("commit_mb", commit_mb);
+  json.key("committer_scaling").begin_array();
+  for (const ScalingRow& r : scaling) {
+    json.begin_object();
+    json.kv("backend", r.backend);
+    json.kv("committers", r.committers);
+    json.kv("wall_s", r.wall_s);
+    json.kv("commit_MBps", r.commit_MBps);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   for (const Row& r : rows)
@@ -173,6 +280,10 @@ int main(int argc, char** argv) {
               << " speedup=" << r.serial_s / r.async_s
               << " restore=" << (static_cast<double>(r.bytes) / (1024.0 * 1024.0)) / r.restore_s
               << "MB/s\n";
+  for (const ScalingRow& r : scaling)
+    std::cout << r.backend << " committers=" << r.committers
+              << " wall=" << r.wall_s * 1e3 << "ms"
+              << " aggregate=" << r.commit_MBps << "MB/s\n";
   std::cout << "best async-over-serial speedup " << best_speedup
             << "x; wrote " << out_path << "\n";
   return 0;

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "ckpt/io/log_backend.hpp"
 #include "common/cli.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
@@ -208,6 +209,10 @@ SpecParts split_spec(std::string_view spec) {
   const auto qmark = body.find('?');
   if (qmark != std::string_view::npos) {
     p.options = std::string(body.substr(qmark + 1));
+    // URL-style '&' and list-style ',' separators are interchangeable, so
+    // specs read naturally both quoted ("log:d?shards=4&uring=1") and
+    // comma-joined inside larger comma lists.
+    std::replace(p.options.begin(), p.options.end(), '&', ',');
     body = body.substr(0, qmark);
   }
   const auto colon = body.find(':');
@@ -226,6 +231,18 @@ std::string spec_option(const std::string& options, std::string_view key) {
   if (options.empty()) return {};
   const auto items = common::parse_key_values(options, ',', '=');
   return common::find_key_value(items, key).value_or(std::string{});
+}
+
+/// Strictly parse a positive integer option, with bounds.
+long spec_long(const std::string& value, std::string_view what, long lo,
+               long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long val = std::strtol(value.c_str(), &end, 10);
+  ABFTC_REQUIRE(end != value.c_str() && *end == '\0' && errno == 0 &&
+                    val >= lo && val <= hi,
+                "malformed " + std::string(what) + " '" + value + "'");
+  return val;
 }
 
 }  // namespace
@@ -254,9 +271,23 @@ std::unique_ptr<StorageBackend> make_backend(std::string_view spec) {
       capacity = static_cast<std::size_t>(val) << 20;
     }
     backend = std::make_unique<MmapBackend>(p.rest, capacity);
+  } else if (p.scheme == "log") {
+    ABFTC_REQUIRE(!p.rest.empty(), "log backend needs a directory: log:DIR");
+    LogBackend::Options opts;
+    if (const std::string s = spec_option(p.options, "shards"); !s.empty())
+      opts.shards =
+          static_cast<unsigned>(spec_long(s, "log shard count", 1, 256));
+    opts.uring = spec_option(p.options, "uring") == "1";
+    if (const std::string f = spec_option(p.options, "flush"); !f.empty())
+      opts.flush = f != "0";
+    if (const std::string c = spec_option(p.options, "compact"); !c.empty())
+      opts.compact_every = static_cast<unsigned>(
+          spec_long(c, "log compaction interval", 1, 1l << 30));
+    backend = std::make_unique<LogBackend>(p.rest, opts);
   } else {
     ABFTC_REQUIRE(false, "unknown storage backend scheme '" + p.scheme +
-                             "' (known: memory, file:DIR, mmap:PATH)");
+                             "' (known: memory, file:DIR, mmap:PATH, "
+                             "log:DIR)");
   }
   backend->open();
   return backend;

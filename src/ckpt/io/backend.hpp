@@ -5,7 +5,7 @@
 /// ckpt::StorageModel *predicts* C/R from assumed bandwidths; this layer
 /// *performs* the I/O so the Section V-C hypotheses (remote-PFS vs scalable
 /// in-node storage, Figs 8–10) can be anchored in measured checkpoint costs.
-/// Three backends implement the same contract:
+/// Four backends implement the same contract:
 ///
 ///  * MemoryBackend — snapshots held in RAM (the CheckpointStore behavior,
 ///    refactored behind the interface); zero durability, memcpy speed.
@@ -15,14 +15,20 @@
 ///  * MmapBackend   — a preallocated mmap'd arena with a slot table; msync
 ///    on commit. Bump allocation: drop() frees the slot; space is reclaimed
 ///    when the dropped snapshot was the newest or the arena empties.
+///  * LogBackend    — sharded append-only changelog segments with CRC-framed
+///    records, background compaction and an optional io_uring submission
+///    path (log_backend.hpp). The one backend built for concurrent
+///    committers.
 ///
 /// Writes are two-phase everywhere: payload first, then the commit record
-/// (manifest entry / committed flag) — a crash mid-write leaves a torn
-/// snapshot that readers reject instead of half-restoring.
+/// (manifest entry / committed flag / framed trailer) — a crash mid-write
+/// leaves a torn snapshot that readers reject instead of half-restoring.
 ///
 /// Backends are deliberately *not* thread-safe: one CkptWriter drives one
 /// backend (coordinated checkpoints serialize commits by construction).
-/// Parallelism lives above, in the writer's copy/CRC/write pipeline.
+/// Parallelism lives above, in the writer's copy/CRC/write pipeline. The
+/// log backend opts out via concurrent_committers() — its commit path is
+/// internally locked per shard, so independent writers may share it.
 
 #include <cstddef>
 #include <cstdint>
@@ -77,8 +83,15 @@ class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  /// Backend kind: "memory", "file", "mmap".
+  /// Backend kind: "memory", "file", "mmap", "log".
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True when independent threads may each drive their own WriteSession
+  /// concurrently (commits are internally synchronized). Callers running
+  /// multiple committers against a false backend must serialize externally.
+  [[nodiscard]] virtual bool concurrent_committers() const noexcept {
+    return false;
+  }
 
   /// Attach to the target: create the directory/arena on first use, load
   /// any existing manifest/slot table after a restart. Idempotent (a
@@ -157,8 +170,15 @@ void write_via_session(StorageBackend& backend, const SnapshotBlob& blob);
 ///   memory                 in-RAM snapshots
 ///   file:DIR[?direct=1]    one file per snapshot under DIR (+ MANIFEST)
 ///   mmap:PATH[?mb=N]       preallocated arena file (default 256 MiB)
+///   log:DIR[?shards=N&uring=1&flush=0&compact=K]
+///                          sharded append-only changelog under DIR
+///                          (default 8 shards; uring=1 opts into io_uring
+///                          submission, flush=0 skips per-commit fdatasync,
+///                          compact=K runs background compaction every K
+///                          commits)
 ///
-/// The backend is returned open()ed. Unknown schemes / malformed specs throw
+/// Option separators may be ',' or '&' interchangeably. The backend is
+/// returned open()ed. Unknown schemes / malformed specs throw
 /// common::precondition_error.
 [[nodiscard]] std::unique_ptr<StorageBackend> make_backend(
     std::string_view spec);

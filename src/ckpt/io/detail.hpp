@@ -1,10 +1,12 @@
 #pragma once
 /// \file detail.hpp
-/// Internal helpers shared by the file and mmap backends. Not part of the
-/// public ckpt::io surface — both on-disk formats embed the same 24-byte
-/// region record, and keeping it (plus the errno/fd plumbing) in one place
-/// means the two layouts cannot silently drift apart.
+/// Internal helpers shared by the file, mmap and log backends. Not part of
+/// the public ckpt::io surface — the on-disk formats embed the same 24-byte
+/// region record, and keeping it (plus the errno/fd plumbing and the
+/// full-length read/write loops) in one place means the layouts and their
+/// EINTR handling cannot silently drift apart.
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -44,6 +46,53 @@ struct FdGuard {
 
 inline std::size_t align_up(std::size_t v, std::size_t a) noexcept {
   return (v + a - 1) / a * a;
+}
+
+inline void pwrite_all(int fd, const void* buf, std::size_t n,
+                       std::uint64_t off, const char* what) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      sys_error(std::string("pwrite ") + what);
+    }
+    p += w;
+    off += static_cast<std::uint64_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+inline void pread_all(int fd, void* buf, std::size_t n, std::uint64_t off,
+                      const std::string& path) {
+  auto* p = static_cast<std::byte*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      sys_error("pread " + path);
+    }
+    if (r == 0) throw io_error("truncated snapshot file: " + path);
+    p += r;
+    off += static_cast<std::uint64_t>(r);
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+inline void fsync_or_throw(int fd, const char* what) {
+  if (::fsync(fd) != 0) sys_error(std::string("fsync ") + what);
+}
+
+/// Best-effort fsync of a directory so a rename inside it is durable.
+/// Never throws: once the rename succeeded, the new file *is* the store's
+/// state — failing here only means a crash could roll the rename back,
+/// which readers handle as "commit never happened". Throwing would instead
+/// desynchronize the in-memory state from the on-disk one.
+inline void fsync_dir_best_effort(const std::string& dir) noexcept {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
 }
 
 }  // namespace abftc::ckpt::io::detail

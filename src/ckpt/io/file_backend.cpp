@@ -71,6 +71,10 @@ struct FileHeader {
 static_assert(sizeof(FileHeader) == 72, "on-disk header layout");
 
 using detail::align_up;
+using detail::fsync_dir_best_effort;
+using detail::fsync_or_throw;
+using detail::pread_all;
+using detail::pwrite_all;
 using detail::RegionEntry;
 using detail::sys_error;
 
@@ -78,54 +82,6 @@ std::uint32_t header_crc_of(const FileHeader& h) {
   // CRC of everything before the header_crc field itself.
   return common::crc32(std::span(reinterpret_cast<const std::byte*>(&h),
                                  offsetof(FileHeader, header_crc)));
-}
-
-void pwrite_all(int fd, const void* buf, std::size_t n, std::uint64_t off,
-                const char* what) {
-  const auto* p = static_cast<const std::byte*>(buf);
-  while (n > 0) {
-    const ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(off));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      sys_error(std::string("pwrite ") + what);
-    }
-    p += w;
-    off += static_cast<std::uint64_t>(w);
-    n -= static_cast<std::size_t>(w);
-  }
-}
-
-void pread_all(int fd, void* buf, std::size_t n, std::uint64_t off,
-               const std::string& path) {
-  auto* p = static_cast<std::byte*>(buf);
-  while (n > 0) {
-    const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      sys_error("pread " + path);
-    }
-    if (r == 0) throw io_error("truncated snapshot file: " + path);
-    p += r;
-    off += static_cast<std::uint64_t>(r);
-    n -= static_cast<std::size_t>(r);
-  }
-}
-
-void fsync_or_throw(int fd, const char* what) {
-  if (::fsync(fd) != 0) sys_error(std::string("fsync ") + what);
-}
-
-/// Best-effort fsync of a directory so a rename inside it is durable.
-/// Never throws: once the rename succeeded, the new manifest *is* the
-/// store's state — failing here only means a crash could roll the rename
-/// back, which readers handle as "commit never happened" (the orphaned
-/// snapshot file is invisible without its manifest entry). Throwing would
-/// instead desynchronize the in-memory manifest from the on-disk one.
-void fsync_dir_best_effort(const std::string& dir) noexcept {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
 }
 
 struct FreeDeleter {

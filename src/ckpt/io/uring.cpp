@@ -1,0 +1,278 @@
+/// \file uring.cpp
+/// Raw-syscall io_uring plumbing (see uring.hpp for the contract). The ring
+/// is used in its simplest configuration — no SQPOLL, no registered
+/// buffers/files — because the log backend's ops are few and large: the
+/// win is overlap inside one commit, not saturating a submission thread.
+
+#include "ckpt/io/uring.hpp"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define ABFTC_HAVE_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ckpt/io/detail.hpp"
+#else
+#define ABFTC_HAVE_URING 0
+#endif
+
+namespace abftc::ckpt::io {
+
+#if ABFTC_HAVE_URING
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+unsigned load_acquire(const unsigned* p) {
+  return std::atomic_ref(*const_cast<unsigned*>(p))
+      .load(std::memory_order_acquire);
+}
+
+void store_release(unsigned* p, unsigned v) {
+  std::atomic_ref(*p).store(v, std::memory_order_release);
+}
+
+void pwrite_rest(int fd, const std::byte* buf, std::size_t len,
+                 std::uint64_t off) {
+  while (len > 0) {
+    const ssize_t w = ::pwrite(fd, buf, len, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      detail::sys_error("pwrite (uring short-write completion)");
+    }
+    buf += w;
+    off += static_cast<std::uint64_t>(w);
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+struct UringQueue::Impl {
+  struct Op {
+    int fd = -1;
+    const std::byte* buf = nullptr;
+    std::size_t len = 0;
+    std::uint64_t off = 0;
+    bool done = false;
+  };
+
+  int ring_fd = -1;
+  unsigned entries = 0;
+  void* sq_map = nullptr;
+  std::size_t sq_map_len = 0;
+  void* cq_map = nullptr;  // == sq_map under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_map_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  std::vector<Op> ops;  // user_data indexes into this; cleared at drain
+  std::size_t pending = 0;
+  int first_error = 0;  // first failed op's -res, reported at drain
+
+  ~Impl() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_map != nullptr && cq_map != sq_map) ::munmap(cq_map, cq_map_len);
+    if (sq_map != nullptr) ::munmap(sq_map, sq_map_len);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  /// Reap every completion currently visible in the CQ ring.
+  void reap() {
+    unsigned head = load_acquire(cq_head);
+    const unsigned tail = load_acquire(cq_tail);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes[head & *cq_mask];
+      Op& op = ops[static_cast<std::size_t>(cqe.user_data)];
+      if (cqe.res < 0) {
+        if (first_error == 0) first_error = -cqe.res;
+      } else if (static_cast<std::size_t>(cqe.res) < op.len) {
+        pwrite_rest(op.fd, op.buf + cqe.res,
+                    op.len - static_cast<std::size_t>(cqe.res),
+                    op.off + static_cast<std::uint64_t>(cqe.res));
+      }
+      op.done = true;
+      --pending;
+      ++head;
+    }
+    store_release(cq_head, head);
+  }
+
+  void wait(unsigned min_complete) {
+    while (true) {
+      const int rc = sys_io_uring_enter(ring_fd, 0, min_complete,
+                                        IORING_ENTER_GETEVENTS);
+      if (rc >= 0) break;
+      if (errno == EINTR) continue;
+      detail::sys_error("io_uring_enter (wait)");
+    }
+    reap();
+  }
+};
+
+bool UringQueue::supported() noexcept {
+  static const bool ok = [] {
+    io_uring_params p{};
+    const int fd = sys_io_uring_setup(2, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+UringQueue::UringQueue(unsigned entries) : impl_(std::make_unique<Impl>()) {
+  io_uring_params p{};
+  impl_->ring_fd = sys_io_uring_setup(entries == 0 ? 16 : entries, &p);
+  if (impl_->ring_fd < 0) detail::sys_error("io_uring_setup");
+  impl_->entries = p.sq_entries;
+
+  impl_->sq_map_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  impl_->cq_map_len = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single)
+    impl_->sq_map_len = impl_->cq_map_len =
+        std::max(impl_->sq_map_len, impl_->cq_map_len);
+
+  impl_->sq_map =
+      ::mmap(nullptr, impl_->sq_map_len, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, impl_->ring_fd, IORING_OFF_SQ_RING);
+  if (impl_->sq_map == MAP_FAILED) {
+    impl_->sq_map = nullptr;
+    detail::sys_error("mmap io_uring SQ ring");
+  }
+  if (single) {
+    impl_->cq_map = impl_->sq_map;
+  } else {
+    impl_->cq_map =
+        ::mmap(nullptr, impl_->cq_map_len, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, impl_->ring_fd, IORING_OFF_CQ_RING);
+    if (impl_->cq_map == MAP_FAILED) {
+      impl_->cq_map = nullptr;
+      detail::sys_error("mmap io_uring CQ ring");
+    }
+  }
+  impl_->sqes_len = p.sq_entries * sizeof(io_uring_sqe);
+  impl_->sqes = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, impl_->sqes_len, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, impl_->ring_fd, IORING_OFF_SQES));
+  if (impl_->sqes == MAP_FAILED) {
+    impl_->sqes = nullptr;
+    detail::sys_error("mmap io_uring SQEs");
+  }
+
+  auto* sq = static_cast<std::byte*>(impl_->sq_map);
+  impl_->sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  impl_->sq_mask = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  impl_->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  auto* cq = static_cast<std::byte*>(impl_->cq_map);
+  impl_->cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  impl_->cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  impl_->cq_mask = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  impl_->cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+}
+
+UringQueue::~UringQueue() {
+  // Ops may still be in flight if a commit threw mid-stream; their buffers
+  // are owned by the session being destroyed with us, so wait them out.
+  if (impl_ != nullptr && impl_->pending > 0) {
+    try {
+      drain();
+    } catch (const io_error&) {  // NOLINT(bugprone-empty-catch)
+      // Destructor path of an already-failed commit: nothing to report to.
+    }
+  }
+}
+
+void UringQueue::submit_pwrite(int fd, const void* buf, std::size_t len,
+                               std::uint64_t off) {
+  if (impl_->pending == impl_->entries) impl_->wait(1);
+
+  const std::size_t idx = impl_->ops.size();
+  impl_->ops.push_back(Impl::Op{fd, static_cast<const std::byte*>(buf), len,
+                                off, false});
+
+  const unsigned tail = *impl_->sq_tail;
+  const unsigned slot = tail & *impl_->sq_mask;
+  io_uring_sqe& sqe = impl_->sqes[slot];
+  std::memset(&sqe, 0, sizeof(sqe));
+  sqe.opcode = IORING_OP_WRITE;
+  sqe.fd = fd;
+  sqe.addr = reinterpret_cast<std::uint64_t>(buf);
+  sqe.len = static_cast<std::uint32_t>(len);
+  sqe.off = off;
+  sqe.user_data = idx;
+  impl_->sq_array[slot] = slot;
+  store_release(impl_->sq_tail, tail + 1);
+
+  while (true) {
+    const int rc = sys_io_uring_enter(impl_->ring_fd, 1, 0, 0);
+    if (rc >= 0) break;
+    if (errno == EINTR) continue;
+    detail::sys_error("io_uring_enter (submit)");
+  }
+  ++impl_->pending;
+}
+
+void UringQueue::drain() {
+  impl_->reap();
+  while (impl_->pending > 0)
+    impl_->wait(static_cast<unsigned>(impl_->pending));
+  impl_->ops.clear();
+  const int err = impl_->first_error;
+  impl_->first_error = 0;
+  if (err != 0)
+    throw io_error(std::string("io_uring write failed: ") +
+                   std::strerror(err));
+}
+
+std::size_t UringQueue::in_flight() const noexcept { return impl_->pending; }
+
+#else  // !ABFTC_HAVE_URING
+
+struct UringQueue::Impl {};
+
+bool UringQueue::supported() noexcept { return false; }
+
+UringQueue::UringQueue(unsigned) {
+  throw io_error("io_uring is not available on this platform");
+}
+
+UringQueue::~UringQueue() = default;
+
+void UringQueue::submit_pwrite(int, const void*, std::size_t, std::uint64_t) {
+  throw io_error("io_uring is not available on this platform");
+}
+
+void UringQueue::drain() {}
+
+std::size_t UringQueue::in_flight() const noexcept { return 0; }
+
+#endif  // ABFTC_HAVE_URING
+
+}  // namespace abftc::ckpt::io

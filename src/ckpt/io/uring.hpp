@@ -1,0 +1,62 @@
+#pragma once
+/// \file uring.hpp
+/// UringQueue: a minimal io_uring submission queue for the log backend's
+/// append path (raw syscalls, no liburing dependency).
+///
+/// The log backend's commit is a handful of pwrites (payload chunks, then
+/// header + table + trailer) followed by one fdatasync. With io_uring the
+/// payload chunks are *submitted* as they arrive and reaped together at
+/// commit, so multiple appends are in flight inside the kernel at once
+/// instead of each paying a full synchronous syscall round trip.
+///
+/// Availability is probed at runtime (supported() caches one io_uring_setup
+/// attempt): kernels without the syscall, seccomp filters, and locked-down
+/// containers all fail the probe, and callers fall back to plain pwrite —
+/// the log backend behaves identically either way, only the submission
+/// mechanism differs. Short writes and per-op errors are handled at drain():
+/// a short completion is finished synchronously, a failed one throws
+/// io_error.
+///
+/// Not thread-safe: one queue belongs to one shard, and the shard lock is
+/// held across every submit/drain (the log backend serializes same-shard
+/// committers by construction).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "ckpt/io/backend.hpp"
+
+namespace abftc::ckpt::io {
+
+class UringQueue {
+ public:
+  /// One cached runtime probe: can this process set up an io_uring at all?
+  [[nodiscard]] static bool supported() noexcept;
+
+  /// Throws io_error when the ring cannot be created (callers should probe
+  /// supported() first; a race against resource limits can still fail).
+  explicit UringQueue(unsigned entries = 16);
+  ~UringQueue();
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Queue one positional write. The buffer must stay alive and unchanged
+  /// until the next drain() returns. Blocks for a completion slot when the
+  /// ring is full.
+  void submit_pwrite(int fd, const void* buf, std::size_t len,
+                     std::uint64_t off);
+
+  /// Wait for every in-flight write; completes short writes synchronously
+  /// and throws io_error (first failure) if any op failed.
+  void drain();
+
+  /// Writes submitted and not yet reaped.
+  [[nodiscard]] std::size_t in_flight() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace abftc::ckpt::io

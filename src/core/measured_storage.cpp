@@ -1,5 +1,6 @@
 #include "core/measured_storage.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -47,7 +48,26 @@ AnalyticArgs parse_analytic(std::string_view spec) {
 
 ckpt::StorageModel measured(std::string_view spec) {
   auto backend = ckpt::io::make_backend(spec);
-  return ckpt::io::calibrate_backend(*backend).model;
+  ckpt::io::CalibrationOptions opts;
+  // A `committers=N` option in the spec tail calibrates under commit
+  // contention (N concurrent writers per timed round) — the backend factory
+  // ignores the key, so e.g. "log:/tmp/s?shards=4,committers=4" both
+  // configures the store and dimensions its fit.
+  const auto qmark = spec.find('?');
+  if (qmark != std::string_view::npos) {
+    std::string tail(spec.substr(qmark + 1));
+    std::replace(tail.begin(), tail.end(), '&', ',');
+    const auto items = common::parse_key_values(tail, ',', '=');
+    if (const auto c = common::find_key_value(items, "committers")) {
+      char* end = nullptr;
+      const long n = std::strtol(c->c_str(), &end, 10);
+      ABFTC_REQUIRE(end != c->c_str() && *end == '\0' && n >= 1 && n <= 256,
+                    "malformed committers count in storage spec: " +
+                        std::string(spec));
+      opts.committers = static_cast<int>(n);
+    }
+  }
+  return ckpt::io::calibrate_backend(*backend, opts).model;
 }
 
 }  // namespace
@@ -76,6 +96,7 @@ StorageResolver::StorageResolver() : impl_(std::make_shared<Impl>()) {
   add("memory", measured);
   add("file", measured);
   add("mmap", measured);
+  add("log", measured);
 }
 
 StorageResolver& StorageResolver::instance() {

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstdlib>
@@ -15,15 +18,20 @@
 #include <filesystem>
 #include <fstream>
 #include <random>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "ckpt/image.hpp"
 #include "ckpt/io/backend.hpp"
 #include "ckpt/io/calibrate.hpp"
+#include "ckpt/io/faulting.hpp"
+#include "ckpt/io/log_backend.hpp"
+#include "ckpt/io/uring.hpp"
 #include "ckpt/io/writer.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 #include "core/measured_storage.hpp"
 
 namespace {
@@ -67,6 +75,15 @@ std::vector<std::byte> pattern_bytes(std::size_t n, unsigned seed) {
   return out;
 }
 
+/// Option tail for log-backend specs, overridable from the environment so
+/// CI can re-run the shared suites with io_uring submission enabled
+/// (ABFTC_LOG_SPEC_OPTS="shards=4&uring=1"); defaults to the pwrite path.
+/// Tests doing byte-offset surgery on segment files pin their own options.
+std::string log_spec_options() {
+  const char* opts = std::getenv("ABFTC_LOG_SPEC_OPTS");
+  return (opts != nullptr && *opts != '\0') ? opts : "shards=4";
+}
+
 SnapshotBlob sample_blob(CkptId id, std::size_t bytes_a, std::size_t bytes_b) {
   SnapshotBlob blob;
   blob.meta.id = id;
@@ -106,6 +123,9 @@ class BackendConformance : public ::testing::TestWithParam<const char*> {
     const std::string kind = GetParam();
     if (kind == "memory") return "memory";
     if (kind == "file") return "file:" + (tmp_.path() / "store").string();
+    if (kind == "log")
+      return "log:" + (tmp_.path() / "store").string() + "?" +
+             log_spec_options();
     return "mmap:" + (tmp_.path() / "arena.ckpt").string() + "?mb=8";
   }
   TempDir tmp_;
@@ -199,8 +219,10 @@ TEST_P(BackendConformance, AbandonedSessionLeavesNoSnapshot) {
   EXPECT_EQ(backend->list().size(), 1u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, BackendConformance,
-                         ::testing::Values("memory", "file", "mmap"));
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendConformance,
+    ::testing::Values("memory", "file", "mmap", "log"),
+    [](const auto& info) { return std::string(info.param); });
 
 // --- persistence across reopen (file + mmap) --------------------------------
 
@@ -351,6 +373,9 @@ class WriterRoundTrip : public ::testing::TestWithParam<const char*> {
     const std::string kind = GetParam();
     if (kind == "memory") return "memory";
     if (kind == "file") return "file:" + (tmp_.path() / "store").string();
+    if (kind == "log")
+      return "log:" + (tmp_.path() / "store").string() + "?" +
+             log_spec_options();
     return "mmap:" + (tmp_.path() / "arena.ckpt").string() + "?mb=16";
   }
   TempDir tmp_;
@@ -422,8 +447,10 @@ TEST_P(WriterRoundTrip, AsyncAndSerialProduceIdenticalSnapshots) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, WriterRoundTrip,
-                         ::testing::Values("memory", "file", "mmap"));
+INSTANTIATE_TEST_SUITE_P(
+    Backends, WriterRoundTrip,
+    ::testing::Values("memory", "file", "mmap", "log"),
+    [](const auto& info) { return std::string(info.param); });
 
 TEST(CkptWriter, ExitValidatesCoverageAndEntryKind) {
   MemoryBackend backend;
@@ -634,6 +661,393 @@ TEST(MmapBackendIntegrity, CorruptedArenaPayloadFailsRestore) {
   const auto backend = make_backend(spec);
   CkptWriter writer(*backend);
   EXPECT_THROW(writer.restore_latest(f.image), io_error);
+}
+
+// --- log backend ------------------------------------------------------------
+
+TEST(LogBackendPersistence, SurvivesReopenAcrossShards) {
+  TempDir tmp;
+  const std::string spec =
+      "log:" + (tmp.path() / "store").string() + "?" + log_spec_options();
+  {
+    const auto backend = make_backend(spec);
+    for (CkptId id = 1; id <= 9; ++id)
+      backend->write_snapshot(sample_blob(id, 3000 + id * 100, 1000));
+  }
+  const auto reopened = make_backend(spec);
+  const auto metas = reopened->list();
+  ASSERT_EQ(metas.size(), 9u);
+  for (CkptId id = 1; id <= 9; ++id) {
+    const SnapshotBlob back = reopened->read_snapshot(id);
+    EXPECT_NO_THROW(back.verify());
+    EXPECT_EQ(back.meta.bytes, 4000u + id * 100);
+  }
+  // list() preserves commit (sequence) order across the reopen.
+  for (std::size_t i = 0; i < metas.size(); ++i)
+    EXPECT_EQ(metas[i].id, i + 1);
+}
+
+TEST(LogBackendPersistence, TombstoneSurvivesReopen) {
+  TempDir tmp;
+  const std::string spec =
+      "log:" + (tmp.path() / "store").string() + "?shards=2";
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 4000, 1000));
+    backend->write_snapshot(sample_blob(2, 4000, 1000));
+    backend->drop(1);
+  }
+  const auto reopened = make_backend(spec);
+  ASSERT_EQ(reopened->list().size(), 1u);
+  EXPECT_EQ(reopened->list()[0].id, 2u);
+  EXPECT_THROW((void)reopened->read_snapshot(1), io_error);
+}
+
+TEST(LogBackendRecovery, TruncatesExactlyTheTornSuffix) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  // One shard, so both records and the torn garbage share a segment.
+  const std::string spec = "log:" + store.string() + "?shards=1";
+  std::uintmax_t committed_bytes = 0;
+  fs::path wal;
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 4000, 1000));
+    backend->write_snapshot(sample_blob(2, 2000, 500));
+    for (const auto& entry : fs::directory_iterator(store))
+      if (entry.path().filename().string().starts_with("wal_"))
+        wal = entry.path();
+    ASSERT_FALSE(wal.empty());
+    committed_bytes = fs::file_size(wal);
+  }
+  // A crashed committer's half-written record: framing never completes.
+  {
+    std::ofstream io(wal, std::ios::binary | std::ios::app);
+    const std::vector<char> garbage(1000, 0x5C);
+    io.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  const auto reopened = make_backend(spec);
+  ASSERT_EQ(reopened->list().size(), 2u);
+  EXPECT_NO_THROW(reopened->read_snapshot(1).verify());
+  EXPECT_NO_THROW(reopened->read_snapshot(2).verify());
+  // The suffix — and only the suffix — was cut back.
+  EXPECT_EQ(fs::file_size(wal), committed_bytes);
+}
+
+TEST(LogBackendRecovery, CorruptTailRecordIsDiscardedAsTorn) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  const std::string spec = "log:" + store.string() + "?shards=1";
+  std::uintmax_t after_first = 0;
+  fs::path wal;
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 4000, 1000));
+    for (const auto& entry : fs::directory_iterator(store))
+      if (entry.path().filename().string().starts_with("wal_"))
+        wal = entry.path();
+    ASSERT_FALSE(wal.empty());
+    after_first = fs::file_size(wal);
+    backend->write_snapshot(sample_blob(2, 2000, 500));
+  }
+  // Flip one payload byte of the *tail* record: its commit was never
+  // acknowledged as far as recovery can tell, so it is torn, not corrupt.
+  {
+    std::fstream io(wal, std::ios::in | std::ios::out | std::ios::binary);
+    const auto pos =
+        static_cast<std::streamoff>(after_first) + 72 + 2 * 24 + 8 + 100;
+    char b = 0;
+    io.seekg(pos);
+    io.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    io.seekp(pos);
+    io.write(&b, 1);
+  }
+  const auto reopened = make_backend(spec);
+  ASSERT_EQ(reopened->list().size(), 1u);
+  EXPECT_EQ(reopened->list()[0].id, 1u);
+  EXPECT_NO_THROW(reopened->read_snapshot(1).verify());
+  EXPECT_EQ(fs::file_size(wal), after_first);
+}
+
+TEST(LogBackendRecovery, MidFileCorruptionKeptButRejectedAtVerify) {
+  TempDir tmp;
+  const fs::path store = tmp.path() / "store";
+  const std::string spec = "log:" + store.string() + "?shards=1";
+  fs::path wal;
+  {
+    const auto backend = make_backend(spec);
+    backend->write_snapshot(sample_blob(1, 4000, 1000));
+    backend->write_snapshot(sample_blob(2, 2000, 500));
+    for (const auto& entry : fs::directory_iterator(store))
+      if (entry.path().filename().string().starts_with("wal_"))
+        wal = entry.path();
+  }
+  // Flip a payload byte of the *first* record: mid-file, so its commit was
+  // acknowledged — recovery keeps it and verify() rejects it.
+  {
+    std::fstream io(wal, std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff pos = 32 + 72 + 2 * 24 + 8 + 100;
+    char b = 0;
+    io.seekg(pos);
+    io.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    io.seekp(pos);
+    io.write(&b, 1);
+  }
+  const auto reopened = make_backend(spec);
+  ASSERT_EQ(reopened->list().size(), 2u);
+  EXPECT_THROW(reopened->read_snapshot(1).verify(), io_error);
+  const auto best = latest_restorable(*reopened);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->meta.id, 2u);
+}
+
+TEST(LogBackendFaults, TornPayloadFallsBackAndFailedCommitLeavesNothing) {
+  TempDir tmp;
+  LogBackend inner((tmp.path() / "store").string(),
+                   LogBackend::Options{.shards = 2});
+  inner.open();
+  FaultingBackend faulty(
+      inner, {{1, WriteFault::TornPayload}, {2, WriteFault::FailedCommit}});
+  faulty.open();
+
+  faulty.write_snapshot(sample_blob(1, 4000, 1000));  // clean
+  faulty.write_snapshot(sample_blob(2, 4000, 1000));  // torn payload
+  EXPECT_THROW(faulty.write_snapshot(sample_blob(3, 4000, 1000)), io_error);
+  EXPECT_EQ(faulty.faults_fired(), 2u);
+
+  ASSERT_EQ(inner.list().size(), 2u);  // the failed commit never landed
+  EXPECT_THROW(inner.read_snapshot(2).verify(), io_error);
+  const auto best = latest_restorable(inner);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->meta.id, 1u);  // falls back past the torn newest
+  // The store stays writable after both fault shapes.
+  faulty.write_snapshot(sample_blob(4, 100, 100));
+  EXPECT_EQ(inner.list().size(), 3u);
+}
+
+TEST(LogBackendCompaction, FoldsChainToBitwiseEqualRestore) {
+  TempDir tmp;
+  LogBackend backend((tmp.path() / "store").string(),
+                     LogBackend::Options{.shards = 2});
+  backend.open();
+  CkptWriter writer(backend, WriterOptions{.chunk_bytes = 64 * 1024});
+  ImageFixture f;
+
+  writer.take_full(f.image, 1.0);
+  for (int k = 0; k < 4; ++k) {
+    f.rem[static_cast<std::size_t>(k) * 11] = static_cast<std::byte>(0xB0 + k);
+    f.image.mark_dirty(1);
+    writer.take_incremental(f.image, 2.0 + k);
+  }
+  const auto lib_orig = f.lib, rem_orig = f.rem;
+  const std::uint64_t before_live = backend.live_bytes();
+  ASSERT_EQ(backend.list().size(), 5u);
+
+  const CompactionStats stats = backend.compact_now();
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.records_folded, 5u);
+  EXPECT_GE(stats.segments_deleted, 1u);
+  EXPECT_GT(stats.bytes_reclaimed, 0u);
+
+  // The chain collapsed to one Full under the newest member's identity.
+  const auto metas = backend.list();
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].kind, CkptKind::Full);
+  EXPECT_DOUBLE_EQ(metas[0].when, 5.0);
+  EXPECT_LT(backend.live_bytes(), before_live);
+
+  // Restore from the folded record is bitwise-equal to the chain replay.
+  std::fill(f.lib.begin(), f.lib.end(), std::byte{0xFF});
+  std::fill(f.rem.begin(), f.rem.end(), std::byte{0xFF});
+  const auto report = writer.restore_latest(f.image);
+  EXPECT_EQ(f.lib, lib_orig);
+  EXPECT_EQ(f.rem, rem_orig);
+  EXPECT_DOUBLE_EQ(report.from_when, 5.0);
+
+  // And the folded store survives a reopen.
+  LogBackend reopened((tmp.path() / "store").string(),
+                      LogBackend::Options{.shards = 2});
+  reopened.open();
+  ASSERT_EQ(reopened.list().size(), 1u);
+  EXPECT_NO_THROW(reopened.read_snapshot(metas[0].id).verify());
+}
+
+TEST(LogBackendCompaction, BoundsLiveBytesUnderDropChurn) {
+  TempDir tmp;
+  LogBackend backend((tmp.path() / "store").string(),
+                     LogBackend::Options{.shards = 2});
+  backend.open();
+  // A ckpt_every-style campaign: keep the newest full, drop the old one.
+  for (CkptId id = 1; id <= 20; ++id) {
+    backend.write_snapshot(sample_blob(id, 8000, 2000));
+    if (id > 1) backend.drop(id - 1);
+  }
+  (void)backend.compact_now();
+  ASSERT_EQ(backend.list().size(), 1u);
+  // Segment bytes on disk stay within small-change of one live snapshot
+  // (frozen segment + at most per-shard headers), not twenty of them.
+  EXPECT_LT(backend.segment_bytes(), 3 * backend.live_bytes() + 4096);
+  EXPECT_NO_THROW(backend.read_snapshot(20).verify());
+}
+
+TEST(LogBackendCompaction, RacingCommitterLosesNoCommittedSnapshot) {
+  TempDir tmp;
+  common::Executor executor(2);
+  LogBackend::Options opts;
+  opts.shards = 4;
+  opts.compact_every = 6;  // background passes mid-storm
+  opts.executor = &executor;
+  LogBackend backend((tmp.path() / "store").string(), opts);
+  backend.open();
+
+  constexpr int kThreads = 4, kEach = 12;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int c = 0; c < kEach; ++c) {
+        const auto id = static_cast<CkptId>(t * kEach + c + 1);
+        backend.write_snapshot(sample_blob(id, 3000, 800));
+        // Interleave reads with the compactor's relocations. The read may
+        // find the record already dropped — every snapshot here is a Full,
+        // so a racing pass supersedes older ones — but a record that is
+        // still present must read back intact; any other io_error (torn
+        // frame, CRC mismatch) is a genuine loss.
+        try {
+          backend.read_snapshot(id).verify();
+        } catch (const io_error& e) {
+          EXPECT_NE(std::string(e.what()).find("unknown snapshot id"),
+                    std::string::npos)
+              << e.what();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  backend.wait_for_compaction();
+  (void)backend.compact_now();
+
+  // Compaction may drop superseded records but must keep a restorable
+  // newest; every record it kept must verify.
+  const auto best = latest_restorable(backend);
+  ASSERT_TRUE(best.has_value());
+  for (const SnapshotMeta& m : backend.list())
+    EXPECT_NO_THROW(backend.read_snapshot(m.id).verify());
+  EXPECT_GE(backend.compaction_stats().passes, 1u);
+}
+
+TEST(CompactionPlan, FoldsFullPlusIncrementalsAndDropsOlder) {
+  using compact::LiveRecord;
+  const auto rec = [](std::uint64_t seq, CkptId id, CkptKind kind,
+                      bool verified, CkptId link = 0) {
+    LiveRecord r;
+    r.seq = seq;
+    r.meta.id = id;
+    r.meta.kind = kind;
+    r.meta.entry_link = link;
+    r.verified = verified;
+    return r;
+  };
+  const auto plan = compact::plan_compaction({
+      rec(1, 10, CkptKind::Full, true),
+      rec(2, 11, CkptKind::Incremental, true),
+      rec(3, 12, CkptKind::Full, true),
+      rec(4, 13, CkptKind::Incremental, true),
+      rec(5, 14, CkptKind::Incremental, true),
+  });
+  EXPECT_EQ(plan.fold, (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(plan.drop, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(plan.carry.empty());
+}
+
+TEST(CompactionPlan, ConservativeWhenDamagedOrMixed) {
+  using compact::LiveRecord;
+  const auto rec = [](std::uint64_t seq, CkptId id, CkptKind kind,
+                      bool verified, CkptId link = 0) {
+    LiveRecord r;
+    r.seq = seq;
+    r.meta.id = id;
+    r.meta.kind = kind;
+    r.meta.entry_link = link;
+    r.verified = verified;
+    return r;
+  };
+  // An unverified chain member: nothing folds, nothing restorable-looking
+  // is dropped (the damaged chain disqualifies its Full as a base, so the
+  // older verified Full is the protection point and survives).
+  auto plan = compact::plan_compaction({
+      rec(1, 10, CkptKind::Full, true),
+      rec(2, 12, CkptKind::Full, true),
+      rec(3, 13, CkptKind::Incremental, false),
+  });
+  EXPECT_TRUE(plan.fold.empty());
+  EXPECT_TRUE(plan.drop.empty());
+  EXPECT_EQ(plan.carry.size(), 3u);
+
+  // Nothing verifies at all: carry everything, drop nothing.
+  plan = compact::plan_compaction({
+      rec(1, 10, CkptKind::Full, false),
+      rec(2, 11, CkptKind::Incremental, false),
+  });
+  EXPECT_EQ(plan.carry.size(), 2u);
+  EXPECT_TRUE(plan.drop.empty());
+
+  // An Exit base keeps its (older) Entry, drops the rest.
+  plan = compact::plan_compaction({
+      rec(1, 10, CkptKind::Full, true),
+      rec(2, 20, CkptKind::Entry, true),
+      rec(3, 21, CkptKind::Exit, true, 20),
+  });
+  EXPECT_TRUE(plan.fold.empty());
+  EXPECT_EQ(plan.drop, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(plan.carry, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(LogBackendUring, RoundTripsWhenKernelSupportsIt) {
+  if (!UringQueue::supported())
+    GTEST_SKIP() << "io_uring unavailable in this kernel/container";
+  TempDir tmp;
+  const std::string spec =
+      "log:" + (tmp.path() / "store").string() + "?shards=2&uring=1";
+  const auto backend = make_backend(spec);
+  auto* log = dynamic_cast<LogBackend*>(backend.get());
+  ASSERT_NE(log, nullptr);
+  EXPECT_TRUE(log->uring_active());
+  for (CkptId id = 1; id <= 4; ++id)
+    backend->write_snapshot(sample_blob(id, 60000, 20000));
+  for (CkptId id = 1; id <= 4; ++id)
+    EXPECT_NO_THROW(backend->read_snapshot(id).verify());
+  // The uring-written store reopens fine without uring.
+  LogBackend plain((tmp.path() / "store").string(),
+                   LogBackend::Options{.shards = 2});
+  plain.open();
+  EXPECT_EQ(plain.list().size(), 4u);
+}
+
+TEST(UringQueue, WritesLandAtTheirOffsets) {
+  if (!UringQueue::supported())
+    GTEST_SKIP() << "io_uring unavailable in this kernel/container";
+  TempDir tmp;
+  const fs::path file = tmp.path() / "uring.bin";
+  const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  const auto a = pattern_bytes(3000, 7), b = pattern_bytes(5000, 8);
+  {
+    UringQueue queue(4);
+    queue.submit_pwrite(fd, a.data(), a.size(), 0);
+    queue.submit_pwrite(fd, b.data(), b.size(), a.size());
+    queue.drain();
+    EXPECT_EQ(queue.in_flight(), 0u);
+  }
+  ::close(fd);
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> back(a.size() + b.size());
+  in.read(back.data(), static_cast<std::streamsize>(back.size()));
+  ASSERT_EQ(static_cast<std::size_t>(in.gcount()), back.size());
+  EXPECT_EQ(std::memcmp(back.data(), a.data(), a.size()), 0);
+  EXPECT_EQ(std::memcmp(back.data() + a.size(), b.data(), b.size()), 0);
 }
 
 // --- calibrator -------------------------------------------------------------

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <set>
 #include <vector>
 
@@ -331,6 +333,34 @@ TEST(DistCampaign, MiniCampaignRecoversEveryCell) {
   EXPECT_EQ(report.unrecovered, 0u);
   EXPECT_GT(report.calib.t_clean, 0.0);
   EXPECT_EQ(report.calib.step_seconds.size(), cfg.n / cfg.nb);
+}
+
+TEST(DistCampaign, LogStorageRecoversEveryCellWithCompaction) {
+  DistConfig cfg = small_config();
+  cfg.n = 48;
+  const auto spec =
+      CampaignSpec::parse("steps:0-2,ranks:0-1,kinds:kill+torn");
+
+  // Durable sharded-log store with background compaction racing the
+  // campaign's checkpoint traffic; storage_for splices ".cellN" before the
+  // '?' so cells never share a directory.
+  const char* env = std::getenv("TMPDIR");
+  const std::filesystem::path base =
+      (env != nullptr && *env != '\0') ? std::filesystem::path(env)
+                                       : std::filesystem::temp_directory_path();
+  const std::filesystem::path store = base / "abftc_dist_log_campaign";
+  std::filesystem::remove_all(store);
+  CampaignOptions options;
+  options.storage = "log:" + store.string() + "?shards=2&compact=4";
+
+  const CampaignReport report = run_campaign(cfg, spec, options);
+  ASSERT_EQ(report.cells.size(), spec.cell_count());
+  for (const CellOutcome& c : report.cells)
+    EXPECT_TRUE(c.recovered) << "cell " << c.cell.index << " ("
+                             << to_string(c.cell.kind) << " step "
+                             << c.cell.step << " rank " << c.cell.rank << ")";
+  EXPECT_EQ(report.unrecovered, 0u);
+  std::filesystem::remove_all(store);
 }
 
 TEST(DistCampaign, ShardsCoverTheCampaignExactlyOnce) {
