@@ -180,7 +180,8 @@ int main(int argc, char** argv) {
     results.push_back({shapes[si].name, "cursor", threads, cursor, 0.0});
     results.push_back({shapes[si].name, "stealing", threads, stealing, 0.0});
   }
-  const common::ExecutorStats after = common::Executor::global().stats();
+  const common::ExecutorCounters shape_delta =
+      (common::Executor::global().stats() - before).total;
 
   std::ofstream out(out_path);
   if (!out) {
@@ -199,13 +200,11 @@ int main(int argc, char** argv) {
   json.kv("stealing_over_cursor_skewed", shape_ratios[0]);
   json.kv("stealing_over_cursor_bursty", shape_ratios[1]);
   json.key("steal_counters").begin_object();
-  json.kv("chunks_claimed",
-          after.total.chunks_claimed - before.total.chunks_claimed);
-  json.kv("tasks_stolen", after.total.tasks_stolen - before.total.tasks_stolen);
-  json.kv("steal_failures",
-          after.total.steal_failures - before.total.steal_failures);
-  json.kv("parks", after.total.parks - before.total.parks);
-  json.kv("unparks", after.total.unparks - before.total.unparks);
+  json.kv("chunks_claimed", shape_delta.chunks_claimed);
+  json.kv("tasks_stolen", shape_delta.tasks_stolen);
+  json.kv("steal_failures", shape_delta.steal_failures);
+  json.kv("parks", shape_delta.parks);
+  json.kv("unparks", shape_delta.unparks);
   json.end_object();
   json.key("results").begin_array();
   for (const Result& r : results) {

@@ -51,7 +51,16 @@ struct KernelPolicy {
 [[nodiscard]] unsigned resolved_threads(const KernelPolicy& p) noexcept;
 
 /// The process-global policy consulted by every dispatching kernel.
-/// Mutating it while kernels run on other threads is undefined.
+///
+/// Concurrency contract (audited for multi-tenant service use): *reading*
+/// the policy — what every kernel dispatch and every concurrent
+/// Experiment::run does — is safe from any number of threads. *Mutating*
+/// it (set_kernel_policy, KernelPolicyGuard) while kernels run on other
+/// threads is undefined: configure the policy at setup time, before
+/// serving concurrent work, exactly like evaluator registration
+/// (core::EvaluatorRegistry). The built-in model/sim evaluators never
+/// touch the kernel layer, so sweep-service traffic does not dispatch
+/// through this policy at all unless a custom evaluator does.
 [[nodiscard]] const KernelPolicy& kernel_policy() noexcept;
 void set_kernel_policy(KernelPolicy p) noexcept;
 

@@ -539,6 +539,19 @@ unsigned Executor::spawned_helpers() const noexcept {
 
 unsigned Executor::max_helpers() const noexcept { return impl_->cap; }
 
+ExecutorStats operator-(const ExecutorStats& after,
+                        const ExecutorStats& before) {
+  ExecutorStats out;
+  out.total = after.total - before.total;
+  out.callers = after.callers - before.callers;
+  out.per_worker.reserve(after.per_worker.size());
+  for (std::size_t i = 0; i < after.per_worker.size(); ++i)
+    out.per_worker.push_back(i < before.per_worker.size()
+                                 ? after.per_worker[i] - before.per_worker[i]
+                                 : after.per_worker[i]);
+  return out;
+}
+
 ExecutorStats Executor::stats() const {
   ExecutorStats out;
   out.callers = impl_->caller_stats.snapshot();

@@ -99,6 +99,17 @@ struct ExecutorCounters {
   std::uint64_t unparks = 0;         ///< worker woke from the condvar
 };
 
+/// Counter-wise difference of two snapshots: the scheduler activity between
+/// them. Counters are monotone, so `after - before` never underflows when
+/// the operands are ordered snapshots of the same executor.
+[[nodiscard]] constexpr ExecutorCounters operator-(
+    const ExecutorCounters& after, const ExecutorCounters& before) noexcept {
+  return {after.chunks_claimed - before.chunks_claimed,
+          after.tasks_stolen - before.tasks_stolen,
+          after.steal_failures - before.steal_failures,
+          after.parks - before.parks, after.unparks - before.unparks};
+}
+
 /// Snapshot of an executor's per-worker counters (index = worker id, in
 /// creation order) plus one row for non-worker participants (loop callers),
 /// and the sum of all rows.
@@ -107,6 +118,14 @@ struct ExecutorStats {
   ExecutorCounters callers;
   std::vector<ExecutorCounters> per_worker;
 };
+
+/// Snapshot delta: per-request / per-phase scheduler accounting in one
+/// expression (`(after - before).total.tasks_stolen`) instead of
+/// hand-subtracted counter rows. Workers are created lazily and never
+/// retire, so `after` may have more per-worker rows than `before`; missing
+/// `before` rows count as zero (the worker did not exist yet).
+[[nodiscard]] ExecutorStats operator-(const ExecutorStats& after,
+                                      const ExecutorStats& before);
 
 /// A handle on a pool of persistent workers. Almost every caller wants the
 /// process-wide `Executor::global()` (which `parallel_for` uses); explicit

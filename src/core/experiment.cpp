@@ -279,12 +279,14 @@ void CsvSink::begin(const SinkHeader& header) {
   for (std::size_t c = 0; c < header.columns.size(); ++c)
     os_ << (c ? "," : "") << header.columns[c];
   os_ << '\n';
+  if (row_flush_) os_.flush();
 }
 
 void CsvSink::row(const SinkHeader&, const std::vector<double>& values) {
   for (std::size_t c = 0; c < values.size(); ++c)
     os_ << (c ? "," : "") << common::JsonWriter::number(values[c]);
   os_ << '\n';
+  if (row_flush_) os_.flush();
 }
 
 void CsvSink::end(const SinkHeader&) {}
@@ -319,6 +321,7 @@ void JsonSink::begin(const SinkHeader& header) {
   for (const auto& col : header.columns) json_->value(col);
   json_->end_array();
   json_->key("results").begin_array();
+  if (row_flush_) os_->flush();
 }
 
 void JsonSink::row(const SinkHeader& header,
@@ -327,6 +330,7 @@ void JsonSink::row(const SinkHeader& header,
   for (std::size_t c = 0; c < values.size(); ++c)
     json_->kv(header.columns[c], values[c]);
   json_->end_object();
+  if (row_flush_) os_->flush();
 }
 
 void JsonSink::end(const SinkHeader&) {
@@ -355,6 +359,69 @@ std::uint64_t seed_from_args(const common::ArgParser& args,
 }
 
 // ---- Engine ----------------------------------------------------------------
+
+std::vector<std::shared_ptr<const Evaluator>> resolve_evaluators(
+    const ExperimentSpec& spec) {
+  std::vector<std::shared_ptr<const Evaluator>> out;
+  out.reserve(spec.series.size());
+  for (const auto& s : spec.series)
+    out.push_back(EvaluatorRegistry::instance().at(s.evaluator));
+  return out;
+}
+
+unsigned inner_thread_budget(std::size_t n_cells, unsigned workers) noexcept {
+  if (n_cells == 0) return 1;
+  return n_cells >= workers
+             ? 1
+             : std::max(1u, workers / static_cast<unsigned>(n_cells));
+}
+
+CellRecord evaluate_cell(
+    const ExperimentSpec& spec,
+    const std::vector<std::shared_ptr<const Evaluator>>& evaluators,
+    std::size_t cell, unsigned inner_threads) {
+  CellRecord rec;
+  rec.index = cell;
+  rec.axis_values = spec.sweep.values_at(cell);
+  const ScenarioParams scenario = spec.sweep.scenario(cell);
+  rec.series.reserve(spec.series.size());
+  for (std::size_t si = 0; si < spec.series.size(); ++si) {
+    EvalContext ctx{spec.series[si].model, spec.series[si].mc};
+    if (spec.emit_quantiles) ctx.quantile_hist_bins = spec.quantile_hist_bins;
+    // 0 means "auto": give the evaluator the leftover thread budget. An
+    // explicit Series-level thread count is honoured as-is.
+    if (ctx.mc.threads == 0) ctx.mc.threads = inner_threads;
+    rec.series.push_back(
+        evaluators[si]->evaluate(spec.series[si].protocol, scenario, ctx));
+  }
+  return rec;
+}
+
+std::vector<double> sink_row_values(const ExperimentSpec& spec,
+                                    const CellRecord& cell) {
+  std::vector<double> values;
+  values.reserve(cell.axis_values.size() +
+                 cell.series.size() *
+                     (std::size(kSinkMetrics) +
+                      (spec.emit_quantiles ? 3 + spec.quantile_hist_bins : 0)));
+  values.insert(values.end(), cell.axis_values.begin(),
+                cell.axis_values.end());
+  for (const auto& r : cell.series) {
+    for (const Metric m : kSinkMetrics) values.push_back(metric_value(r, m));
+    if (spec.emit_quantiles) {
+      for (const Metric m :
+           {Metric::WasteP50, Metric::WasteP95, Metric::WasteP99})
+        values.push_back(metric_value(r, m));
+      // Histogram bins; series without a sample (model) pad with NaN,
+      // which the JSON sink renders as null like the quantiles.
+      for (std::size_t b = 0; b < spec.quantile_hist_bins; ++b)
+        values.push_back(b < r.waste_hist.size()
+                             ? r.waste_hist[b]
+                             : std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  return values;
+}
 
 Experiment::Experiment(ExperimentSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
@@ -388,13 +455,11 @@ SinkHeader Experiment::header_for(const ExperimentSpec& spec) {
 
 ExperimentResult Experiment::run() const {
   const std::size_t n_cells = spec_.sweep.cells();
-  const std::size_t n_series = spec_.series.size();
 
   // Resolve evaluators once, outside the hot loop; shared ownership keeps
   // them alive even if the registry entry is replaced mid-run.
-  std::vector<std::shared_ptr<const Evaluator>> evaluators(n_series);
-  for (std::size_t si = 0; si < n_series; ++si)
-    evaluators[si] = EvaluatorRegistry::instance().at(spec_.series[si].evaluator);
+  const std::vector<std::shared_ptr<const Evaluator>> evaluators =
+      resolve_evaluators(spec_);
 
   // Split the thread budget between the two parallel dimensions: the grid
   // gets the workers, and when there are fewer cells than workers each
@@ -405,9 +470,7 @@ ExperimentResult Experiment::run() const {
   // the grid left idle — so the inner budget is an upper bound, never an
   // oversubscription.
   const unsigned workers = common::effective_threads(spec_.threads);
-  const unsigned inner_threads =
-      n_cells >= workers ? 1
-                         : std::max(1u, workers / static_cast<unsigned>(n_cells));
+  const unsigned inner_threads = inner_thread_budget(n_cells, workers);
 
   ExperimentResult result;
   result.name = spec_.name;
@@ -419,48 +482,16 @@ ExperimentResult Experiment::run() const {
   common::parallel_for(
       n_cells,
       [&](std::size_t cell) {
-        CellRecord rec;
-        rec.index = cell;
-        rec.axis_values = spec_.sweep.values_at(cell);
-        const ScenarioParams scenario = spec_.sweep.scenario(cell);
-        rec.series.reserve(n_series);
-        for (std::size_t si = 0; si < n_series; ++si) {
-          EvalContext ctx{spec_.series[si].model, spec_.series[si].mc};
-          if (spec_.emit_quantiles)
-            ctx.quantile_hist_bins = spec_.quantile_hist_bins;
-          // 0 means "auto": give the evaluator the leftover thread budget.
-          // An explicit Series-level thread count is honoured as-is.
-          if (ctx.mc.threads == 0) ctx.mc.threads = inner_threads;
-          rec.series.push_back(
-              evaluators[si]->evaluate(spec_.series[si].protocol, scenario,
-                                       ctx));
-        }
-        result.cells[cell] = std::move(rec);
+        result.cells[cell] =
+            evaluate_cell(spec_, evaluators, cell, inner_threads);
       },
       spec_.threads);
 
   if (!sinks_.empty()) {
     const SinkHeader header = header_for(spec_);
     for (ResultSink* sink : sinks_) sink->begin(header);
-    std::vector<double> values;
     for (const auto& cell : result.cells) {
-      values.clear();
-      values.insert(values.end(), cell.axis_values.begin(),
-                    cell.axis_values.end());
-      for (const auto& r : cell.series) {
-        for (const Metric m : kSinkMetrics) values.push_back(metric_value(r, m));
-        if (spec_.emit_quantiles) {
-          for (const Metric m :
-               {Metric::WasteP50, Metric::WasteP95, Metric::WasteP99})
-            values.push_back(metric_value(r, m));
-          // Histogram bins; series without a sample (model) pad with NaN,
-          // which the JSON sink renders as null like the quantiles.
-          for (std::size_t b = 0; b < spec_.quantile_hist_bins; ++b)
-            values.push_back(b < r.waste_hist.size()
-                                 ? r.waste_hist[b]
-                                 : std::numeric_limits<double>::quiet_NaN());
-        }
-      }
+      const std::vector<double> values = sink_row_values(spec_, cell);
       for (ResultSink* sink : sinks_) sink->row(header, values);
     }
     for (ResultSink* sink : sinks_) sink->end(header);

@@ -105,6 +105,19 @@ class Evaluator {
 /// "sim" (Monte-Carlo, Section V-A) are pre-registered. Lookups hand out
 /// shared ownership so a replaced evaluator stays alive for experiments
 /// that already resolved it.
+///
+/// Concurrency contract (audited for multi-tenant service use): `find`/
+/// `at`/`names` may be called from any number of threads at any time — the
+/// registry map is mutex-guarded and lookups copy a shared_ptr, so
+/// concurrent `Experiment::run` calls (e.g. sweep-service worker threads)
+/// never observe a half-registered entry and never race an evaluator's
+/// destruction. `add` is *setup-time*: it is itself thread-safe, but an
+/// experiment admitted before a replacement keeps evaluating on the
+/// evaluator it resolved — two concurrent runs of the same spec across a
+/// replacement may therefore use different evaluators. Register every
+/// custom evaluator before serving traffic. Evaluator::evaluate must be
+/// const-thread-safe (it is called concurrently from grid workers of
+/// multiple experiments); the built-ins are stateless.
 class EvaluatorRegistry {
  public:
   static EvaluatorRegistry& instance();
@@ -213,8 +226,43 @@ struct SinkHeader {
 inline constexpr Metric kSinkMetrics[] = {Metric::Waste, Metric::TFinal,
                                           Metric::Failures, Metric::Valid};
 
+/// Resolve every `spec.series[i].evaluator` from the registry, in series
+/// order. Shared ownership keeps the evaluators alive even if a registry
+/// entry is replaced mid-run. Throws precondition_error on unknown names.
+[[nodiscard]] std::vector<std::shared_ptr<const Evaluator>> resolve_evaluators(
+    const ExperimentSpec& spec);
+
+/// The per-evaluator thread budget Experiment::run grants each cell: 1 when
+/// the grid has at least as many cells as workers, else the leftover
+/// workers split across cells. Determinism never depends on it (randomness
+/// is per-replicate Rng::split) — it only bounds nested parallelism.
+[[nodiscard]] unsigned inner_thread_budget(std::size_t n_cells,
+                                           unsigned workers) noexcept;
+
+/// Evaluate one grid cell — the engine's per-cell loop body, exposed so
+/// external schedulers (the sweep service batching cells of *several*
+/// experiments into one work-stealing loop) produce bitwise-identical
+/// records. `evaluators` must be resolve_evaluators(spec);
+/// `inner_threads` is the evaluator thread budget (0 = keep the series'
+/// own request).
+[[nodiscard]] CellRecord evaluate_cell(
+    const ExperimentSpec& spec,
+    const std::vector<std::shared_ptr<const Evaluator>>& evaluators,
+    std::size_t cell, unsigned inner_threads);
+
+/// Flatten one evaluated cell into the sink row for header_for(spec): axis
+/// values first, then kSinkMetrics (and quantile/histogram columns when the
+/// spec opts in) per series. The single row-assembly used by
+/// Experiment::run and the sweep service — identical values by
+/// construction.
+[[nodiscard]] std::vector<double> sink_row_values(const ExperimentSpec& spec,
+                                                  const CellRecord& cell);
+
 /// Streaming consumer of experiment rows. begin/row*/end are called on the
 /// driving thread, in grid order, after all cells have been computed.
+/// (The sweep service instead calls them *while* cells complete — still
+/// serialized per sink and still in grid order, which is all
+/// implementations may assume.)
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
@@ -248,8 +296,15 @@ class CsvSink : public ResultSink {
            const std::vector<double>& values) override;
   void end(const SinkHeader& header) override;
 
+  /// Opt-in streaming mode: flush the ostream after the header and after
+  /// every row() so live consumers (service clients tailing a socket or a
+  /// drop-directory file) see each result as it lands. Off by default —
+  /// buffered emission and the emitted bytes are unchanged either way.
+  void set_row_flush(bool enabled) noexcept { row_flush_ = enabled; }
+
  private:
   std::ostream& os_;
+  bool row_flush_ = false;
 };
 
 /// BENCH_*.json-compatible artifact:
@@ -269,11 +324,17 @@ class JsonSink : public ResultSink {
            const std::vector<double>& values) override;
   void end(const SinkHeader& header) override;
 
+  /// Opt-in streaming mode: flush the ostream after begin() and after every
+  /// row() (see CsvSink::set_row_flush). The JSON bytes are identical to
+  /// the buffered default.
+  void set_row_flush(bool enabled) noexcept { row_flush_ = enabled; }
+
  private:
   struct FileState;
   std::unique_ptr<FileState> file_;  ///< set when constructed from a path
   std::ostream* os_;
   std::unique_ptr<common::JsonWriter> json_;
+  bool row_flush_ = false;
 };
 
 /// Shared driver idiom for the `--json[=PATH]` flag: nullptr when the flag

@@ -1,0 +1,209 @@
+#include "svc/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "svc/protocol.hpp"
+
+namespace abftc::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* code, const std::string& what) {
+  throw svc_error(code, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw svc_error("listen-failed", "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("listen-failed", "socket(AF_UNIX)");
+  ::unlink(path.c_str());  // replace a stale socket from a dead server
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("listen-failed", "bind(" + path + ")");
+  if (::listen(fd.get(), 64) != 0) throw_errno("listen-failed", "listen");
+  return fd;
+}
+
+Fd listen_tcp(int port, int& bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("listen-failed", "socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("listen-failed", "bind(127.0.0.1:" + std::to_string(port) +
+                                     ")");
+  if (::listen(fd.get(), 64) != 0) throw_errno("listen-failed", "listen");
+  sockaddr_in got{};
+  socklen_t len = sizeof(got);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) != 0)
+    throw_errno("listen-failed", "getsockname");
+  bound_port = ntohs(got.sin_port);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw svc_error("connect-failed", "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("connect-failed", "socket(AF_UNIX)");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno("connect-failed", "connect(" + path + ")");
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, int port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("connect-failed", "socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw svc_error("connect-failed", "bad IPv4 address: " + host);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw_errno("connect-failed",
+                "connect(" + host + ":" + std::to_string(port) + ")");
+  return fd;
+}
+
+Fd accept_with_timeout(int listen_fd, int timeout_ms,
+                       const std::atomic<bool>* stop) {
+  pollfd p{listen_fd, POLLIN, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (stop && stop->load(std::memory_order_relaxed)) return Fd();
+  if (rc <= 0 || !(p.revents & POLLIN)) return Fd();
+  return Fd(::accept(listen_fd, nullptr, nullptr));
+}
+
+bool write_all(int fd, const void* data, std::size_t n) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL keeps a torn peer from raising SIGPIPE even before the
+    // server's process-wide ignore is installed (sweepctl, tests).
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0 && (errno == ENOTSOCK || errno == EOPNOTSUPP))
+      w = ::write(fd, p, n);  // plain pipe/file fd (tests)
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_line(int fd, const std::string& line) noexcept {
+  std::string out = line;
+  out.push_back('\n');
+  return write_all(fd, out.data(), out.size());
+}
+
+bool peer_closed(int fd) noexcept {
+  pollfd p{fd, POLLRDHUP, 0};
+  if (::poll(&p, 1, 0) < 0) return false;
+  return (p.revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
+LineReader::Status LineReader::fill(const std::atomic<bool>* stop) {
+  while (true) {
+    if (stop && stop->load(std::memory_order_relaxed)) return Status::Stopped;
+    pollfd p{fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error;
+    }
+    if (rc == 0) continue;  // timeout: re-check the stop flag
+    char chunk[4096];
+    const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error;
+    }
+    if (r == 0) {
+      eof_ = true;
+      return Status::Eof;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(r));
+    return Status::Ok;
+  }
+}
+
+LineReader::Status LineReader::read_line(std::string& out,
+                                         const std::atomic<bool>* stop) {
+  bool overlong = false;
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      if (overlong || nl > max_line_) {
+        buf_.erase(0, nl + 1);
+        return Status::TooLong;
+      }
+      out.assign(buf_, 0, nl);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      buf_.erase(0, nl + 1);
+      return Status::Ok;
+    }
+    if (buf_.size() > max_line_) {
+      // Drop what we have and keep consuming until the newline so the
+      // connection stays line-synchronized.
+      overlong = true;
+      buf_.clear();
+    }
+    if (eof_) return buf_.empty() ? Status::Eof : Status::Error;
+    const Status s = fill(stop);
+    if (s == Status::Stopped || s == Status::Error) return s;
+    // Eof with buffered bytes: loop once more to flush a final unterminated
+    // line as an error; Ok: try again.
+  }
+}
+
+LineReader::Status LineReader::read_exact(std::size_t n, std::string& out,
+                                          const std::atomic<bool>* stop) {
+  while (buf_.size() < n) {
+    if (eof_) return Status::Eof;
+    const Status s = fill(stop);
+    if (s == Status::Stopped || s == Status::Error) return s;
+  }
+  out.append(buf_, 0, n);
+  buf_.erase(0, n);
+  return Status::Ok;
+}
+
+}  // namespace abftc::svc

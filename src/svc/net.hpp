@@ -1,0 +1,103 @@
+#pragma once
+/// \file net.hpp
+/// Thin POSIX socket layer shared by the sweep service (server.cpp), the
+/// sweepctl client, and the tests: RAII fds, Unix-domain/TCP listeners and
+/// connectors, stop-aware buffered line reading with a hard line-length
+/// cap, and full-write helpers. No protocol knowledge lives here.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace abftc::svc {
+
+/// Hard cap on one protocol line (spec lines, command lines). Longer lines
+/// are consumed and rejected with a structured error; the connection
+/// survives.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a Unix-domain stream socket at `path`, replacing a
+/// stale socket file. Throws svc_error("listen-failed") on failure.
+[[nodiscard]] Fd listen_unix(const std::string& path);
+
+/// Bind + listen on 127.0.0.1:`port` (0 = ephemeral); the bound port is
+/// written to `bound_port`. Throws svc_error("listen-failed") on failure.
+[[nodiscard]] Fd listen_tcp(int port, int& bound_port);
+
+/// Connect to a Unix-domain / TCP listener. Throw svc_error
+/// ("connect-failed") on failure.
+[[nodiscard]] Fd connect_unix(const std::string& path);
+[[nodiscard]] Fd connect_tcp(const std::string& host, int port);
+
+/// Accept with a poll timeout so callers can observe a stop flag between
+/// attempts. Returns an invalid Fd on timeout, stop, or a closed listener.
+[[nodiscard]] Fd accept_with_timeout(int listen_fd, int timeout_ms,
+                                     const std::atomic<bool>* stop = nullptr);
+
+/// Write all of [data, data+n); EINTR-safe, SIGPIPE-free (the server
+/// ignores SIGPIPE process-wide; a torn peer surfaces as false). False on
+/// any error — the caller treats the connection as gone.
+bool write_all(int fd, const void* data, std::size_t n) noexcept;
+bool write_line(int fd, const std::string& line) noexcept;  ///< appends '\n'
+
+/// True when the peer has closed or errored the connection (POLLRDHUP /
+/// POLLHUP / POLLERR) — used to cancel in-flight requests on client
+/// disconnect without consuming pipelined bytes.
+[[nodiscard]] bool peer_closed(int fd) noexcept;
+
+/// Buffered newline-delimited reader over a socket/pipe fd.
+class LineReader {
+ public:
+  enum class Status {
+    Ok,       ///< one line delivered (without the '\n')
+    Eof,      ///< orderly shutdown from the peer
+    TooLong,  ///< line exceeded max_line; it was consumed and dropped
+    Stopped,  ///< the stop flag was raised while waiting
+    Error,    ///< read error; connection unusable
+  };
+
+  explicit LineReader(int fd, std::size_t max_line = kMaxLineBytes)
+      : fd_(fd), max_line_(max_line) {}
+
+  /// Block (polling every ~100 ms against `stop`) until a full line, EOF,
+  /// or an over-long line arrives.
+  Status read_line(std::string& out, const std::atomic<bool>* stop = nullptr);
+
+  /// Read exactly n raw bytes (appending to out) — the payload of a
+  /// length-prefixed frame. Returns Ok or Eof/Stopped/Error.
+  Status read_exact(std::size_t n, std::string& out,
+                    const std::atomic<bool>* stop = nullptr);
+
+ private:
+  Status fill(const std::atomic<bool>* stop);
+  int fd_;
+  std::size_t max_line_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace abftc::svc

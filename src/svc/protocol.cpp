@@ -1,0 +1,341 @@
+#include "svc/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "svc/net.hpp"
+#include "common/time_units.hpp"
+#include "core/params.hpp"
+#include "core/sweep.hpp"
+
+namespace abftc::svc {
+
+namespace {
+
+[[noreturn]] void fail(const char* code, const std::string& msg) {
+  throw svc_error(code, msg);
+}
+
+double parse_number(std::string_view text, const char* what) {
+  if (text.empty()) fail("bad-number", std::string(what) + ": empty value");
+  const std::string s(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size())
+    fail("bad-number",
+         std::string(what) + ": cannot parse '" + s + "' as a number");
+  return v;
+}
+
+std::size_t parse_count(std::string_view text, const char* what) {
+  const double v = parse_number(text, what);
+  if (v < 1.0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+    fail("bad-number", std::string(what) + ": '" + std::string(text) +
+                           "' is not a positive integer");
+  return static_cast<std::size_t>(v);
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+core::Protocol parse_protocol(std::string_view key) {
+  if (key == "pure") return core::Protocol::PurePeriodicCkpt;
+  if (key == "bi") return core::Protocol::BiPeriodicCkpt;
+  if (key == "abft") return core::Protocol::AbftPeriodicCkpt;
+  fail("unknown-protocol", "unknown protocol '" + std::string(key) +
+                               "' (known: pure, bi, abft, all)");
+}
+
+core::AxisField parse_axis_field(std::string_view name) {
+  if (name == "mtbf") return core::AxisField::Mtbf;
+  if (name == "downtime") return core::AxisField::Downtime;
+  if (name == "nodes") return core::AxisField::Nodes;
+  if (name == "ckpt") return core::AxisField::CkptCost;
+  if (name == "full-cost") return core::AxisField::FullCost;
+  if (name == "full-recovery") return core::AxisField::FullRecovery;
+  if (name == "rho") return core::AxisField::Rho;
+  if (name == "phi") return core::AxisField::Phi;
+  if (name == "recons") return core::AxisField::Recons;
+  if (name == "alpha") return core::AxisField::Alpha;
+  if (name == "duration") return core::AxisField::EpochDuration;
+  if (name == "epochs") return core::AxisField::Epochs;
+  fail("bad-axis", "unknown axis field '" + std::string(name) +
+                       "' (known: mtbf, downtime, nodes, ckpt, full-cost, "
+                       "full-recovery, rho, phi, recons, alpha, duration, "
+                       "epochs)");
+}
+
+/// Split "LO-HI" on the range dash: the first '-' that follows a digit or
+/// '.' (so exponents like 1e-3 survive; leading signs are not part of this
+/// grammar — every swept quantity is non-negative).
+bool split_range(std::string_view text, std::string_view& lo,
+                 std::string_view& hi) {
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    if (text[i] != '-') continue;
+    const char prev = text[i - 1];
+    if (prev == 'e' || prev == 'E') continue;
+    lo = text.substr(0, i);
+    hi = text.substr(i + 1);
+    return true;
+  }
+  return false;
+}
+
+/// axis=FIELD:LO-HI:COUNT[:log] | axis=FIELD:V1,V2,...
+core::Axis parse_axis(std::string_view spec) {
+  const auto parts = split(spec, ':');
+  if (parts.size() < 2 || parts[0].empty())
+    fail("bad-axis", "axis spec '" + std::string(spec) +
+                         "' is not FIELD:LO-HI:COUNT[:log] or "
+                         "FIELD:V1,V2,...");
+  const std::string name(parts[0]);
+  const core::AxisField field = parse_axis_field(parts[0]);
+
+  if (parts.size() == 2 && parts[1].find(',') != std::string_view::npos) {
+    std::vector<double> values;
+    for (const auto item : split(parts[1], ','))
+      values.push_back(parse_number(item, "axis value"));
+    return core::Axis::values(name, field, std::move(values));
+  }
+
+  std::string_view lo_text, hi_text;
+  if (parts.size() > 4 || !split_range(parts[1], lo_text, hi_text))
+    fail("bad-axis", "axis spec '" + std::string(spec) +
+                         "' is not FIELD:LO-HI:COUNT[:log] or "
+                         "FIELD:V1,V2,...");
+  if (parts.size() == 2) {
+    // FIELD:V alone — a single-value axis (pin a parameter).
+    return core::Axis::values(name, field,
+                              {parse_number(parts[1], "axis value")});
+  }
+  const double lo = parse_number(lo_text, "axis lower bound");
+  const double hi = parse_number(hi_text, "axis upper bound");
+  const std::size_t count = parse_count(parts[2], "axis count");
+  bool log = false;
+  if (parts.size() == 4) {
+    if (parts[3] == "log")
+      log = true;
+    else
+      fail("bad-axis", "axis spec '" + std::string(spec) +
+                           "': trailing '" + std::string(parts[3]) +
+                           "' (only 'log' is understood)");
+  }
+  try {
+    return log ? core::Axis::logspace(name, field, lo, hi, count)
+               : core::Axis::linspace(name, field, lo, hi, count);
+  } catch (const common::precondition_error& e) {
+    fail("bad-axis", e.what());
+  }
+}
+
+}  // namespace
+
+std::string one_line(std::string_view msg) {
+  std::string out(msg);
+  for (char& c : out)
+    if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+  return out;
+}
+
+RequestSpec parse_request_line(std::string_view line) {
+  if (line.size() > kMaxLineBytes)
+    fail("line-too-long", "spec line exceeds " +
+                              std::to_string(kMaxLineBytes) + " bytes");
+
+  // Collapse whitespace runs so the parse_key_values ' '-separated grammar
+  // never sees an empty item.
+  std::string text;
+  text.reserve(line.size());
+  for (const char c : line) {
+    const char mapped = (c == '\t' || c == '\r') ? ' ' : c;
+    if (mapped == ' ' && (text.empty() || text.back() == ' ')) continue;
+    text.push_back(mapped);
+  }
+  while (!text.empty() && text.back() == ' ') text.pop_back();
+  if (text.empty()) fail("bad-verb", "empty request line");
+
+  const std::size_t verb_end = text.find(' ');
+  const std::string verb = text.substr(0, verb_end);
+  if (verb != "sweep")
+    fail("bad-verb", "unknown verb '" + verb +
+                         "' (known: sweep, ping, stats, quit)");
+
+  std::vector<common::KeyValue> items;
+  if (verb_end != std::string::npos) {
+    try {
+      items = common::parse_key_values(
+          std::string_view(text).substr(verb_end + 1), ' ', '=');
+    } catch (const common::precondition_error& e) {
+      fail("bad-spec", e.what());
+    }
+  }
+
+  RequestSpec req;
+  // The base scenario every override and axis starts from: Figure 7 at
+  // MTBF = 120 min, alpha = 0.5 — the same default the figure drivers use.
+  req.sweep.base = core::figure7_scenario(common::minutes(120.0), 0.5);
+  req.sweep.combine = core::Combine::Cartesian;
+
+  std::set<std::string> seen;
+  for (const auto& [key, value] : items) {
+    if (key != "axis" && !seen.insert(key).second)
+      fail("duplicate-key", "key '" + key + "' given more than once");
+    if (value.empty() && key != "axis")
+      fail("bad-spec", "key '" + key + "' has no value");
+
+    if (key == "name") {
+      const bool ok =
+          !value.empty() &&
+          std::all_of(value.begin(), value.end(), [](unsigned char c) {
+            return std::isalnum(c) || c == '_' || c == '-';
+          });
+      if (!ok)
+        fail("bad-name",
+             "name '" + value + "' is not [A-Za-z0-9_-]+");
+      req.name = value;
+    } else if (key == "proto") {
+      if (value == "all") {
+        req.protocols = core::all_protocols();
+      } else {
+        for (const auto item : split(value, ','))
+          req.protocols.push_back(parse_protocol(item));
+      }
+    } else if (key == "evaluator" || key == "eval") {
+      for (const auto item : split(value, ','))
+        req.evaluators.emplace_back(item);
+    } else if (key == "axis") {
+      req.sweep.axes.push_back(parse_axis(value));
+    } else if (key == "mtbf") {
+      req.sweep.base.platform.mtbf = parse_number(value, "mtbf");
+    } else if (key == "downtime") {
+      req.sweep.base.platform.downtime = parse_number(value, "downtime");
+    } else if (key == "nodes") {
+      req.sweep.base.platform.nodes = parse_count(value, "nodes");
+    } else if (key == "ckpt") {
+      const double c = parse_number(value, "ckpt");
+      req.sweep.base.ckpt.full_cost = c;
+      req.sweep.base.ckpt.full_recovery = c;
+    } else if (key == "rho") {
+      req.sweep.base.ckpt.rho = parse_number(value, "rho");
+    } else if (key == "phi") {
+      req.sweep.base.abft.phi = parse_number(value, "phi");
+    } else if (key == "recons") {
+      req.sweep.base.abft.recons = parse_number(value, "recons");
+    } else if (key == "alpha") {
+      req.sweep.base.epoch.alpha = parse_number(value, "alpha");
+    } else if (key == "t0") {
+      req.sweep.base.epoch.duration = parse_number(value, "t0");
+    } else if (key == "epochs") {
+      req.sweep.base.epochs = parse_count(value, "epochs");
+    } else if (key == "reps") {
+      req.reps = parse_count(value, "reps");
+    } else if (key == "seed") {
+      req.seed = static_cast<std::uint64_t>(
+          std::strtoull(std::string(value).c_str(), nullptr, 10));
+    } else if (key == "threads") {
+      const double t = parse_number(value, "threads");
+      if (t < 0 || t != static_cast<double>(static_cast<unsigned>(t)))
+        fail("bad-number", "threads must be a non-negative integer");
+      req.threads = static_cast<unsigned>(t);
+    } else if (key == "quantiles") {
+      req.emit_quantiles = value != "0" && value != "false";
+    } else if (key == "bins") {
+      req.quantile_hist_bins = parse_count(value, "bins");
+    } else if (key == "sink") {
+      if (value == "json")
+        req.sink = SinkKind::Json;
+      else if (value == "csv")
+        req.sink = SinkKind::Csv;
+      else
+        fail("bad-sink",
+             "unknown sink '" + value + "' (known: json, csv)");
+    } else {
+      fail("unknown-key", "unknown key '" + key + "'");
+    }
+  }
+
+  if (req.protocols.empty()) req.protocols = core::all_protocols();
+  if (req.evaluators.empty()) req.evaluators = {"model"};
+  // Duplicate protocols/evaluators would produce colliding series labels
+  // (and silently double the work); reject them as spec errors.
+  {
+    std::set<core::Protocol> protos(req.protocols.begin(),
+                                    req.protocols.end());
+    if (protos.size() != req.protocols.size())
+      fail("duplicate-series", "a protocol is listed more than once");
+    std::set<std::string> evals(req.evaluators.begin(), req.evaluators.end());
+    if (evals.size() != req.evaluators.size())
+      fail("duplicate-series", "an evaluator is listed more than once");
+  }
+  for (const auto& name : req.evaluators)
+    if (!core::EvaluatorRegistry::instance().find(name)) {
+      std::string known;
+      for (const auto& n : core::EvaluatorRegistry::instance().names())
+        known += (known.empty() ? "" : ", ") + n;
+      fail("unknown-evaluator", "no evaluator named '" + name +
+                                    "' (registered: " + known + ")");
+    }
+
+  try {
+    req.sweep.validate();
+    req.sweep.base.validate();
+  } catch (const std::exception& e) {
+    fail("bad-scenario", e.what());
+  }
+  if (req.cells() > kMaxCellsPerRequest)
+    fail("too-many-cells",
+         "request enumerates " + std::to_string(req.cells()) +
+             " cells (cap: " + std::to_string(kMaxCellsPerRequest) + ")");
+  try {
+    to_experiment_spec(req).validate();
+  } catch (const svc_error&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail("bad-spec", e.what());
+  }
+  return req;
+}
+
+core::ExperimentSpec to_experiment_spec(const RequestSpec& req) {
+  core::ExperimentSpec spec;
+  spec.name = req.name;
+  spec.sweep = req.sweep;
+  spec.threads = req.threads;
+  spec.emit_quantiles = req.emit_quantiles;
+  spec.quantile_hist_bins = req.quantile_hist_bins;
+  core::MonteCarloOptions mc;
+  mc.replicates = req.reps;
+  mc.seed = req.seed;
+  spec.series = core::cross_series(req.protocols, req.evaluators, {}, mc);
+  return spec;
+}
+
+std::unique_ptr<core::ResultSink> make_sink(SinkKind kind, std::ostream& os,
+                                            bool row_flush) {
+  if (kind == SinkKind::Csv) {
+    auto sink = std::make_unique<core::CsvSink>(os);
+    sink->set_row_flush(row_flush);
+    return sink;
+  }
+  auto sink = std::make_unique<core::JsonSink>(os);
+  sink->set_row_flush(row_flush);
+  return sink;
+}
+
+}  // namespace abftc::svc

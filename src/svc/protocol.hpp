@@ -1,0 +1,106 @@
+#pragma once
+/// \file protocol.hpp
+/// The sweep-service request grammar and its translation onto the
+/// experiment engine.
+///
+/// One request is one newline-delimited spec line, reusing the
+/// common::parse_key_values grammar with ' ' as the pair separator and '='
+/// as the key/value separator:
+///
+///   sweep proto=abft axis=alpha:0.1-1.0:10 evaluator=sim threads=0 sink=json
+///   sweep name=fig7ish proto=pure,bi,abft evaluator=model,sim reps=60
+///         axis=alpha:0.0-1.0:11 axis=mtbf:3600-14400:10 seed=7
+///
+/// Keys (all optional unless noted):
+///   name=ID           artifact name ([A-Za-z0-9_-], default "sweep")
+///   proto=LIST        pure|bi|abft (comma list) or all     [default all]
+///   evaluator=LIST    registry names, e.g. model,sim       [default model]
+///   axis=SPEC         repeatable, grid axes in order; SPEC is
+///                       FIELD:LO-HI:COUNT        linspace
+///                       FIELD:LO-HI:COUNT:log    logspace
+///                       FIELD:V1,V2,...          explicit values
+///                     FIELD: mtbf, downtime, nodes, ckpt, full-cost,
+///                       full-recovery, rho, phi, recons, alpha, duration,
+///                       epochs (times in seconds)
+///   mtbf= downtime= nodes= ckpt= rho= phi= recons= alpha= t0= epochs=
+///                     base-scenario overrides (defaults: the Figure 7
+///                     scenario at MTBF = 120 min, alpha = 0.5)
+///   reps=N            sim replicates                       [default 200]
+///   seed=N            Monte-Carlo root seed
+///   threads=N         grid parallelism for batch runs (the service's own
+///                     worker budget governs served requests)
+///   quantiles=0/1 bins=N   opt-in tail metrics (EvalResult quantiles)
+///   sink=json|csv     payload format                       [default json]
+///
+/// Errors are structured: svc_error carries a stable kebab-case code
+/// (bad-verb, unknown-key, bad-axis, unknown-evaluator, too-many-cells,
+/// queue-full, ...) that the wire protocol reports as `err code=... msg=...`
+/// and tests match on.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+
+namespace abftc::svc {
+
+/// A service failure with a stable machine-readable code.
+class svc_error : public std::runtime_error {
+ public:
+  svc_error(std::string code, const std::string& msg)
+      : std::runtime_error(msg), code_(std::move(code)) {}
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// Ceiling on cells() of one admitted request — a structural backstop so a
+/// typo'd axis cannot wedge the service behind a billion-cell grid.
+inline constexpr std::size_t kMaxCellsPerRequest = 200'000;
+
+/// Payload format of a request's result stream.
+enum class SinkKind { Json, Csv };
+
+/// A parsed, validated request: everything needed to build the
+/// ExperimentSpec that the batch CLI and the service evaluate identically.
+struct RequestSpec {
+  std::string name = "sweep";
+  std::vector<core::Protocol> protocols;  ///< non-empty after parsing
+  std::vector<std::string> evaluators;    ///< non-empty after parsing
+  core::ScenarioSweep sweep;              ///< base + axes (cartesian)
+  std::size_t reps = 200;
+  std::uint64_t seed = 0xABF7C0DEULL;
+  unsigned threads = 0;
+  bool emit_quantiles = false;
+  std::size_t quantile_hist_bins = 8;
+  SinkKind sink = SinkKind::Json;
+
+  [[nodiscard]] std::size_t cells() const { return sweep.cells(); }
+};
+
+/// Parse + validate one spec line (the part after framing; must start with
+/// the verb `sweep`). Throws svc_error with a stable code on any problem;
+/// never partially succeeds. Evaluator names are checked against the live
+/// EvaluatorRegistry, so the error a client sees names the evaluators the
+/// server actually has.
+[[nodiscard]] RequestSpec parse_request_line(std::string_view line);
+
+/// The exact ExperimentSpec for a request — shared by the service executor
+/// and `sweepctl --local`, which is what makes served rows bitwise-equal to
+/// batch rows for the same spec line.
+[[nodiscard]] core::ExperimentSpec to_experiment_spec(const RequestSpec& req);
+
+/// Sink for a request's payload on `os`. `row_flush` turns on the sinks'
+/// row-level flush mode (live streaming); the bytes are identical either
+/// way.
+[[nodiscard]] std::unique_ptr<core::ResultSink> make_sink(SinkKind kind,
+                                                          std::ostream& os,
+                                                          bool row_flush);
+
+/// Render `msg` safe for a single-line `err code=... msg=...` response:
+/// newlines and control bytes become spaces.
+[[nodiscard]] std::string one_line(std::string_view msg);
+
+}  // namespace abftc::svc

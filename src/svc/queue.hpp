@@ -1,0 +1,88 @@
+#pragma once
+/// \file queue.hpp
+/// The service's bounded admission queue: producers (connection threads,
+/// the drop-directory scanner, in-process submitters) push admitted
+/// requests, the coordinator pops them. The bound is the backpressure
+/// mechanism — a full queue rejects immediately (the caller turns that
+/// into a structured `queue-full` error) instead of buffering unbounded
+/// multi-tenant load. Closing the queue wakes the coordinator, which
+/// drains whatever was already admitted (graceful shutdown never drops an
+/// accepted request).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace abftc::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t cap) : cap_(cap == 0 ? 1 : cap) {}
+
+  /// Admit `item` unless the queue is full or closed. Never blocks — a
+  /// full queue is a reject, not a wait (backpressure contract).
+  enum class Push { Ok, Full, Closed };
+  Push try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return Push::Closed;
+      if (items_.size() >= cap_) return Push::Full;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return Push::Ok;
+  }
+
+  /// Block until an item is available or the queue is closed *and* empty
+  /// (drain semantics). Returns false only in the latter case.
+  bool pop(T& out) {
+    std::unique_lock lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking: up to `max` additional items, for batch coalescing.
+  std::vector<T> drain_ready(std::size_t max) {
+    std::vector<T> out;
+    std::lock_guard lock(mu_);
+    while (out.size() < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  /// Stop admitting; wake poppers. Already-queued items stay poppable.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace abftc::svc

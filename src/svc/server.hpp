@@ -1,0 +1,82 @@
+#pragma once
+/// \file server.hpp
+/// The sweep service's ingestion front-ends over SweepService:
+///
+///  * socket listeners (Unix-domain and/or loopback TCP) speaking a
+///    newline-delimited command protocol — one thread per connection,
+///    requests admitted into the bounded queue, result bytes streamed back
+///    as length-prefixed `data` frames while cells complete, a `trailer`
+///    metrics record, and `end`;
+///  * a drop-directory file queue for offline ingestion: `NAME.req` files
+///    containing one spec line become `NAME.out` (payload, streamed with
+///    row-level flush) + `NAME.trailer.json`, or `NAME.err` on rejection.
+///
+/// Wire protocol (client -> server, one command per line):
+///   sweep <spec...>   admit a request (protocol.hpp grammar)
+///   ping              liveness probe
+///   stats             one-line JSON of the service totals
+///   quit              close the connection
+///
+/// Server -> client, per request:
+///   ok id=<id> cells=<n>
+///   data <len>\n<len raw payload bytes>     (repeated; concatenation of
+///                                            all frames = exactly the
+///                                            batch-CLI sink bytes)
+///   trailer <one-line JSON metrics record>
+///   end id=<id>
+/// or, at any admission/parse failure:
+///   err code=<kebab-code> msg=<text>        (the connection survives)
+///
+/// Cancellation: a client that disconnects mid-request cancels it (the
+/// connection thread polls POLLRDHUP while waiting). Shutdown via stop()
+/// is a graceful drain: listeners close, in-flight requests finish, the
+/// file scanner reaps its pending outputs, then the service drains.
+
+#include <memory>
+#include <string>
+
+#include "svc/service.hpp"
+
+namespace abftc::svc {
+
+struct ServerConfig {
+  std::string unix_path;   ///< empty: no Unix-domain listener
+  int tcp_port = -1;       ///< -1: no TCP listener; 0: ephemeral loopback
+  std::string queue_dir;   ///< empty: no drop-directory scanner
+  ServiceConfig service;
+  int poll_ms = 200;       ///< drop-directory scan interval
+};
+
+class SweepServer {
+ public:
+  explicit SweepServer(ServerConfig cfg);
+  ~SweepServer();  ///< stop()
+  SweepServer(const SweepServer&) = delete;
+  SweepServer& operator=(const SweepServer&) = delete;
+
+  /// Bind listeners, start the accept/scan threads. Throws svc_error on
+  /// bind failure.
+  void start();
+
+  /// Graceful drain: stop accepting, finish every in-flight request,
+  /// join all threads. Idempotent.
+  void stop();
+
+  /// The TCP port actually bound (for tcp_port = 0); -1 when TCP is off.
+  [[nodiscard]] int tcp_port() const noexcept;
+
+  [[nodiscard]] ServiceTotals totals() const;
+  /// The service totals as a one-line JSON document (the `stats` command
+  /// and the sweepd --metrics artifact).
+  [[nodiscard]] std::string totals_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-line JSON of a request's trailer metrics record (also reused by the
+/// file-queue `.trailer.json` artifact).
+[[nodiscard]] std::string trailer_json(const RequestMetrics& m);
+
+}  // namespace abftc::svc

@@ -1,0 +1,196 @@
+/// \file sweepctl_main.cpp
+/// Client for the sweep service. Sends one spec line (the positional
+/// arguments joined with spaces, e.g. `sweepctl --socket=/run/sweepd.sock
+/// sweep proto=abft axis=alpha:0.1-1.0:10`), reassembles the streamed
+/// `data` frames into the payload, and reports the trailer metrics.
+///
+/// Flags:
+///   --socket=PATH       connect to a Unix-domain sweepd listener
+///   --tcp=PORT          connect to 127.0.0.1:PORT (or --host=H)
+///   --local             do not connect: run the spec in-process through
+///                       the batch engine (the byte-identity reference —
+///                       service output must equal --local output)
+///   --out=PATH          payload destination               [stdout]
+///   --trailer=PATH      trailer JSON destination          [stderr]
+///   --ping / --stats    service liveness / totals probes
+///
+/// Exit status: 0 on `end`, 1 on `err ...` or connection failure, 2 on
+/// usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+
+using namespace abftc;
+
+namespace {
+
+std::string join_spec(const std::vector<std::string>& words) {
+  std::string spec;
+  for (const std::string& w : words) {
+    if (!spec.empty()) spec += ' ';
+    spec += w;
+  }
+  return spec;
+}
+
+int run_local(const std::string& spec_line, std::ostream& payload,
+              std::ostream& trailer) {
+  svc::RequestSpec req;
+  try {
+    req = svc::parse_request_line(spec_line);
+  } catch (const svc::svc_error& e) {
+    std::cerr << "sweepctl: err code=" << e.code() << " msg=" << e.what()
+              << '\n';
+    return 1;
+  }
+  const core::ExperimentSpec spec = svc::to_experiment_spec(req);
+  const auto sink = svc::make_sink(req.sink, payload, /*row_flush=*/false);
+  core::Experiment exp(spec);
+  exp.add_sink(*sink);
+  (void)exp.run();
+  trailer << "{\"id\":0,\"name\":\"" << spec.name
+          << "\",\"cells\":" << spec.sweep.cells() << ",\"local\":true}\n";
+  return 0;
+}
+
+struct Endpoint {
+  std::string socket_path;
+  bool has_tcp = false;
+  std::string host;
+  int tcp_port = 0;
+};
+
+svc::Fd connect_endpoint(const Endpoint& ep) {
+  if (!ep.socket_path.empty()) return svc::connect_unix(ep.socket_path);
+  if (ep.has_tcp) return svc::connect_tcp(ep.host, ep.tcp_port);
+  throw svc::svc_error("usage", "need --socket=PATH or --tcp=PORT");
+}
+
+/// One-line request/response exchange (ping, stats).
+int probe(int fd, const std::string& command) {
+  if (!svc::write_line(fd, command)) {
+    std::cerr << "sweepctl: write failed\n";
+    return 1;
+  }
+  svc::LineReader reader(fd);
+  std::string line;
+  if (reader.read_line(line) != svc::LineReader::Status::Ok) {
+    std::cerr << "sweepctl: no response\n";
+    return 1;
+  }
+  std::cout << line << '\n';
+  return line.rfind("ok", 0) == 0 ? 0 : 1;
+}
+
+int run_remote(int fd, const std::string& spec_line, std::ostream& payload,
+               std::ostream& trailer) {
+  if (!svc::write_line(fd, spec_line)) {
+    std::cerr << "sweepctl: write failed\n";
+    return 1;
+  }
+  svc::LineReader reader(fd);
+  std::string line;
+  while (true) {
+    const svc::LineReader::Status status = reader.read_line(line);
+    if (status != svc::LineReader::Status::Ok) {
+      std::cerr << "sweepctl: connection lost before `end`\n";
+      return 1;
+    }
+    if (line.rfind("data ", 0) == 0) {
+      std::size_t len = 0;
+      try {
+        len = std::stoull(line.substr(5));
+      } catch (const std::exception&) {
+        std::cerr << "sweepctl: malformed frame header: " << line << '\n';
+        return 1;
+      }
+      std::string chunk;
+      if (reader.read_exact(len, chunk) != svc::LineReader::Status::Ok) {
+        std::cerr << "sweepctl: truncated data frame\n";
+        return 1;
+      }
+      payload << chunk;
+    } else if (line.rfind("trailer ", 0) == 0) {
+      trailer << line.substr(8) << '\n';
+    } else if (line.rfind("end", 0) == 0) {
+      payload.flush();
+      return 0;
+    } else if (line.rfind("err", 0) == 0) {
+      std::cerr << "sweepctl: " << line << '\n';
+      return 1;
+    } else if (line.rfind("ok", 0) == 0) {
+      // admission ack: ok id=N cells=M
+    } else {
+      std::cerr << "sweepctl: unexpected response: " << line << '\n';
+      return 1;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  const bool local = args.get_bool("local", false);
+  const bool ping = args.get_bool("ping", false);
+  const bool stats = args.get_bool("stats", false);
+  const std::string out_path = args.get_string("out", "");
+  const std::string trailer_path = args.get_string("trailer", "");
+  Endpoint ep;
+  ep.socket_path = args.get_string("socket", "");
+  ep.has_tcp = args.has("tcp");
+  ep.tcp_port = static_cast<int>(args.get_int("tcp", 0));
+  ep.host = args.get_string("host", "127.0.0.1");
+  const std::string spec_line = join_spec(args.positional());
+  args.warn_unknown(std::cerr);
+
+  std::ofstream out_file, trailer_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file) {
+      std::cerr << "sweepctl: cannot open " << out_path << '\n';
+      return 2;
+    }
+  }
+  if (!trailer_path.empty()) {
+    trailer_file.open(trailer_path, std::ios::trunc);
+    if (!trailer_file) {
+      std::cerr << "sweepctl: cannot open " << trailer_path << '\n';
+      return 2;
+    }
+  }
+  std::ostream& payload = out_path.empty() ? std::cout : out_file;
+  std::ostream& trailer = trailer_path.empty() ? std::cerr : trailer_file;
+
+  try {
+    if (local) {
+      if (spec_line.empty()) {
+        std::cerr << "sweepctl: --local needs a spec line\n";
+        return 2;
+      }
+      return run_local(spec_line, payload, trailer);
+    }
+    const svc::Fd fd = connect_endpoint(ep);
+    if (ping) return probe(fd.get(), "ping");
+    if (stats) return probe(fd.get(), "stats");
+    if (spec_line.empty()) {
+      std::cerr << "sweepctl: no spec line given\n";
+      return 2;
+    }
+    return run_remote(fd.get(), spec_line, payload, trailer);
+  } catch (const svc::svc_error& e) {
+    std::cerr << "sweepctl: err code=" << e.code() << " msg=" << e.what()
+              << '\n';
+    return e.code() == "usage" ? 2 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "sweepctl: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+/// \file sweepd_main.cpp
+/// The sweep service daemon: binds the configured front-ends (Unix-domain
+/// socket, loopback TCP, drop directory), serves until SIGTERM/SIGINT, then
+/// drains gracefully — every admitted request finishes and streams its
+/// trailer before the process exits.
+///
+/// Flags:
+///   --socket=PATH       Unix-domain listener (default: none)
+///   --tcp=PORT          loopback TCP listener; 0 = ephemeral, the bound
+///                       port is printed as `listening tcp=<port>`
+///   --queue-dir=DIR     drop-directory file queue (NAME.req -> NAME.out)
+///   --queue-cap=N       admission queue bound (backpressure)   [16]
+///   --batch-max=N       max requests coalesced per batch       [4]
+///   --threads=N         batch worker budget; 0 = hardware      [0]
+///   --metrics=PATH      write the service-totals JSON there on shutdown
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "svc/server.hpp"
+
+using namespace abftc;
+
+int main(int argc, char** argv) {
+  const common::ArgParser args(argc, argv);
+  svc::ServerConfig cfg;
+  cfg.unix_path = args.get_string("socket", "");
+  cfg.tcp_port = args.has("tcp")
+                     ? static_cast<int>(args.get_int("tcp", 0))
+                     : -1;
+  cfg.queue_dir = args.get_string("queue-dir", "");
+  cfg.service.queue_cap =
+      static_cast<std::size_t>(args.get_int("queue-cap", 16));
+  cfg.service.batch_max =
+      static_cast<std::size_t>(args.get_int("batch-max", 4));
+  cfg.service.threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const std::string metrics_path = args.get_string("metrics", "");
+  args.warn_unknown(std::cerr);
+
+  if (cfg.unix_path.empty() && cfg.tcp_port < 0 && cfg.queue_dir.empty()) {
+    std::cerr << "sweepd: nothing to serve; give --socket=PATH, --tcp=PORT "
+                 "and/or --queue-dir=DIR\n";
+    return 2;
+  }
+
+  // Block the shutdown signals in every thread (the server's threads
+  // inherit the mask), then collect them synchronously below.
+  sigset_t shutdown_set;
+  sigemptyset(&shutdown_set);
+  sigaddset(&shutdown_set, SIGTERM);
+  sigaddset(&shutdown_set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &shutdown_set, nullptr);
+
+  svc::SweepServer server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "sweepd: " << e.what() << '\n';
+    return 1;
+  }
+  if (!cfg.unix_path.empty())
+    std::cout << "listening unix=" << cfg.unix_path << '\n';
+  if (cfg.tcp_port >= 0)
+    std::cout << "listening tcp=" << server.tcp_port() << '\n';
+  if (!cfg.queue_dir.empty())
+    std::cout << "listening queue-dir=" << cfg.queue_dir << '\n';
+  std::cout.flush();
+
+  int sig = 0;
+  sigwait(&shutdown_set, &sig);
+  std::cerr << "sweepd: signal " << sig << ", draining\n";
+  server.stop();
+
+  const std::string totals = server.totals_json();
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << totals << '\n';
+  }
+  std::cerr << "sweepd: drained " << totals << '\n';
+  return 0;
+}

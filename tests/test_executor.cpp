@@ -467,6 +467,44 @@ TEST(ExecutorStealing, StatsCountersAdvanceAndRowsSumToTotal) {
   EXPECT_EQ(rows.unparks, after.total.unparks);
 }
 
+TEST(ExecutorStealing, StatsDeltaSubtractsSnapshots) {
+  const common::ExecutorStats before = Executor::global().stats();
+  std::atomic<long long> sum{0};
+  common::parallel_for_dynamic(
+      512, [&](std::size_t i) { sum += static_cast<long long>(i); }, 4, 8);
+  const common::ExecutorStats after = Executor::global().stats();
+
+  const common::ExecutorStats delta = after - before;
+  EXPECT_EQ(delta.total.chunks_claimed,
+            after.total.chunks_claimed - before.total.chunks_claimed);
+  EXPECT_EQ(delta.total.tasks_stolen,
+            after.total.tasks_stolen - before.total.tasks_stolen);
+  EXPECT_EQ(delta.callers.chunks_claimed,
+            after.callers.chunks_claimed - before.callers.chunks_claimed);
+  EXPECT_GT(delta.total.chunks_claimed, 0u)
+      << "the loop between the snapshots claimed chunks";
+  ASSERT_EQ(delta.per_worker.size(), after.per_worker.size());
+  for (std::size_t i = 0; i < delta.per_worker.size(); ++i) {
+    const common::ExecutorCounters expect =
+        i < before.per_worker.size()
+            ? after.per_worker[i] - before.per_worker[i]
+            : after.per_worker[i];  // worker born between the snapshots
+    EXPECT_EQ(delta.per_worker[i].chunks_claimed, expect.chunks_claimed);
+    EXPECT_EQ(delta.per_worker[i].tasks_stolen, expect.tasks_stolen);
+    EXPECT_EQ(delta.per_worker[i].steal_failures, expect.steal_failures);
+    EXPECT_EQ(delta.per_worker[i].parks, expect.parks);
+    EXPECT_EQ(delta.per_worker[i].unparks, expect.unparks);
+  }
+
+  // Self-delta is identically zero.
+  const common::ExecutorCounters zero = after.total - after.total;
+  EXPECT_EQ(zero.chunks_claimed, 0u);
+  EXPECT_EQ(zero.tasks_stolen, 0u);
+  EXPECT_EQ(zero.steal_failures, 0u);
+  EXPECT_EQ(zero.parks, 0u);
+  EXPECT_EQ(zero.unparks, 0u);
+}
+
 TEST(ExecutorStealing, WorkerPinningTogglesAndNeverChangesResults) {
   // Fake 2-node topology aliasing CPU 0 so the round-robin pinning path runs
   // on this machine regardless of its real socket count.

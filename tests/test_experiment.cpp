@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "common/json.hpp"
 #include "common/time_units.hpp"
@@ -241,6 +242,58 @@ TEST(Experiment, TableAndCsvSinksEmitAllRows) {
   for (const char ch : c) lines += ch == '\n';
   EXPECT_EQ(lines, 1u + 9u);
   EXPECT_EQ(c.rfind("alpha,mtbf_min,model_pure.waste", 0), 0u);
+}
+
+TEST(Experiment, RowFlushModeIsByteIdentical) {
+  // Row-level flush is how the sweep service streams rows live; it must
+  // never change the bytes, only when they reach the stream.
+  std::ostringstream json_buf, json_flush, csv_buf, csv_flush;
+  for (const bool flush : {false, true}) {
+    core::JsonSink json(flush ? json_flush : json_buf);
+    core::CsvSink csv(flush ? csv_flush : csv_buf);
+    json.set_row_flush(flush);
+    csv.set_row_flush(flush);
+    core::Experiment experiment(small_fig7_spec(2));
+    experiment.add_sink(json).add_sink(csv);
+    (void)experiment.run();
+  }
+  EXPECT_FALSE(json_buf.str().empty());
+  EXPECT_EQ(json_buf.str(), json_flush.str());
+  EXPECT_EQ(csv_buf.str(), csv_flush.str());
+}
+
+TEST(Experiment, ConcurrentRunsShareRegistrySafely) {
+  // The service runs many tenants' cells at once; the registry contract
+  // (experiment.hpp) says concurrent Experiment::run calls are safe as
+  // long as registration happened first. Run several experiments from
+  // plain threads (TSan covers this test in CI) and require each output
+  // to be bitwise-equal to a solo run of the same spec.
+  std::string solo;
+  {
+    std::ostringstream os;
+    core::JsonSink sink(os);
+    core::Experiment experiment(small_fig7_spec(2));
+    experiment.add_sink(sink);
+    (void)experiment.run();
+    solo = os.str();
+  }
+  constexpr int kRunners = 4;
+  std::string outputs[kRunners];
+  {
+    std::vector<std::thread> runners;
+    runners.reserve(kRunners);
+    for (int r = 0; r < kRunners; ++r)
+      runners.emplace_back([&, r] {
+        std::ostringstream os;
+        core::JsonSink sink(os);
+        core::Experiment experiment(small_fig7_spec(2));
+        experiment.add_sink(sink);
+        (void)experiment.run();
+        outputs[r] = os.str();
+      });
+    for (std::thread& t : runners) t.join();
+  }
+  for (const std::string& out : outputs) EXPECT_EQ(out, solo);
 }
 
 TEST(Experiment, QuantileColumnsAreOptIn) {

@@ -1,0 +1,576 @@
+// Tests for the streaming sweep service: the request grammar (parse +
+// structured rejection), spec -> ExperimentSpec translation, the bounded
+// admission queue, the multi-tenant service core (byte-identity of served
+// rows vs the batch engine, backpressure, cancellation, drain-on-shutdown,
+// tenant fault isolation), and the socket server end to end (framed
+// streaming, error responses that keep the connection alive, oversized
+// lines, a concurrent multi-client soak, and the drop-directory queue).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/time_units.hpp"
+#include "core/experiment.hpp"
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+#include "svc/queue.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace abftc;
+namespace fs = std::filesystem;
+
+// ---- Grammar ---------------------------------------------------------------
+
+std::string reject_code(const std::string& line) {
+  try {
+    (void)svc::parse_request_line(line);
+  } catch (const svc::svc_error& e) {
+    return e.code();
+  }
+  return "";
+}
+
+TEST(SvcProtocol, ParsesFullSpecLine) {
+  const svc::RequestSpec req = svc::parse_request_line(
+      "sweep name=fig7ish proto=pure,abft evaluator=model "
+      "axis=alpha:0.0-1.0:11 axis=mtbf:3600-14400:4 reps=50 seed=7 "
+      "sink=csv quantiles=1 bins=5");
+  EXPECT_EQ(req.name, "fig7ish");
+  ASSERT_EQ(req.protocols.size(), 2u);
+  EXPECT_EQ(req.protocols[0], core::Protocol::PurePeriodicCkpt);
+  EXPECT_EQ(req.protocols[1], core::Protocol::AbftPeriodicCkpt);
+  EXPECT_EQ(req.evaluators, std::vector<std::string>{"model"});
+  EXPECT_EQ(req.cells(), 44u);
+  EXPECT_EQ(req.reps, 50u);
+  EXPECT_EQ(req.seed, 7u);
+  EXPECT_EQ(req.sink, svc::SinkKind::Csv);
+  EXPECT_TRUE(req.emit_quantiles);
+  EXPECT_EQ(req.quantile_hist_bins, 5u);
+
+  const core::ExperimentSpec spec = svc::to_experiment_spec(req);
+  EXPECT_EQ(spec.name, "fig7ish");
+  EXPECT_EQ(spec.sweep.cells(), 44u);
+  ASSERT_EQ(spec.series.size(), 2u);
+  EXPECT_EQ(spec.series[0].label, "model_pure");
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SvcProtocol, DefaultsAndWhitespaceTolerance) {
+  const svc::RequestSpec req =
+      svc::parse_request_line("  sweep \t proto=abft   axis=alpha:0.2,0.8  ");
+  EXPECT_EQ(req.name, "sweep");
+  EXPECT_EQ(req.evaluators, std::vector<std::string>{"model"});
+  EXPECT_EQ(req.cells(), 2u);
+  EXPECT_EQ(req.sink, svc::SinkKind::Json);
+}
+
+TEST(SvcProtocol, ValueAxisAndBaseOverrides) {
+  const svc::RequestSpec req = svc::parse_request_line(
+      "sweep proto=pure axis=rho:0.1,0.5,0.9 mtbf=7200 nodes=2 alpha=0.25");
+  EXPECT_EQ(req.cells(), 3u);
+  EXPECT_DOUBLE_EQ(req.sweep.base.platform.mtbf, 7200.0);
+  EXPECT_EQ(req.sweep.base.platform.nodes, 2u);
+  EXPECT_DOUBLE_EQ(req.sweep.base.epoch.alpha, 0.25);
+  const auto s = req.sweep.scenario(2);
+  EXPECT_DOUBLE_EQ(s.ckpt.rho, 0.9);
+}
+
+TEST(SvcProtocol, StructuredRejections) {
+  EXPECT_EQ(reject_code(""), "bad-verb");
+  EXPECT_EQ(reject_code("frobnicate proto=abft"), "bad-verb");
+  EXPECT_EQ(reject_code("sweep proto=xyz"), "unknown-protocol");
+  EXPECT_EQ(reject_code("sweep evaluator=nope"), "unknown-evaluator");
+  EXPECT_EQ(reject_code("sweep nonsense=1"), "unknown-key");
+  EXPECT_EQ(reject_code("sweep axis=alpha"), "bad-axis");
+  EXPECT_EQ(reject_code("sweep axis=bogusfield:0-1:3"), "bad-axis");
+  EXPECT_EQ(reject_code("sweep axis=alpha:0.0-1.0:0"), "bad-number");
+  EXPECT_EQ(reject_code("sweep reps=many"), "bad-number");
+  EXPECT_EQ(reject_code("sweep sink=xml"), "bad-sink");
+  EXPECT_EQ(reject_code("sweep name=../etc"), "bad-name");
+  EXPECT_EQ(reject_code("sweep proto=abft proto=pure"), "duplicate-key");
+  EXPECT_EQ(reject_code("sweep proto=abft,abft"), "duplicate-series");
+  EXPECT_EQ(reject_code("sweep axis=nodes:1-1000:1000 axis=mtbf:1-1000:1000"),
+            "too-many-cells");
+  // A rejected spec never partially succeeds: same line minus the bad key
+  // parses fine.
+  EXPECT_EQ(reject_code("sweep proto=abft axis=alpha:0.1-0.9:3"), "");
+}
+
+// ---- Bounded queue ---------------------------------------------------------
+
+TEST(SvcQueue, BackpressureAndDrainSemantics) {
+  svc::BoundedQueue<int> q(2);
+  using Push = svc::BoundedQueue<int>::Push;
+  EXPECT_EQ(q.try_push(1), Push::Ok);
+  EXPECT_EQ(q.try_push(2), Push::Ok);
+  EXPECT_EQ(q.try_push(3), Push::Full);
+  EXPECT_EQ(q.size(), 2u);
+
+  q.close();
+  EXPECT_EQ(q.try_push(4), Push::Closed);
+
+  // Drain semantics: queued items remain poppable after close.
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(SvcQueue, PopBlocksUntilPushOrClose) {
+  svc::BoundedQueue<int> q(4);
+  int out = 0;
+  std::thread popper([&] { EXPECT_TRUE(q.pop(out)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.try_push(42), svc::BoundedQueue<int>::Push::Ok);
+  popper.join();
+  EXPECT_EQ(out, 42);
+}
+
+// ---- Service core ----------------------------------------------------------
+
+std::string batch_reference(const std::string& line) {
+  const svc::RequestSpec req = svc::parse_request_line(line);
+  std::ostringstream os;
+  const auto sink = svc::make_sink(req.sink, os, /*row_flush=*/false);
+  core::Experiment experiment(svc::to_experiment_spec(req));
+  experiment.add_sink(*sink);
+  (void)experiment.run();
+  return os.str();
+}
+
+TEST(SvcService, ServedBytesEqualBatchBytes) {
+  const std::string lines[] = {
+      "sweep proto=abft evaluator=model axis=alpha:0.1-0.9:5",
+      "sweep name=csvone proto=pure,bi,abft evaluator=model "
+      "axis=mtbf:3600-14400:4 sink=csv",
+      "sweep proto=bi evaluator=sim reps=40 axis=alpha:0.2,0.6 seed=11",
+  };
+  svc::SweepService service({.queue_cap = 8, .batch_max = 4, .threads = 4});
+  std::ostringstream streams[3];
+  svc::RequestHandle handles[3];
+  for (int i = 0; i < 3; ++i) {
+    const svc::RequestSpec req = svc::parse_request_line(lines[i]);
+    handles[i] =
+        service.submit(req, svc::make_sink(req.sink, streams[i], true));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const svc::RequestMetrics& m = handles[i].wait();
+    EXPECT_FALSE(m.failed) << m.error_message;
+    EXPECT_FALSE(m.cancelled);
+    EXPECT_EQ(m.cells_run, m.cells);
+    EXPECT_EQ(m.rows_flushed, m.cells);
+    EXPECT_EQ(streams[i].str(), batch_reference(lines[i]))
+        << "served rows must be bitwise-identical to the batch engine";
+  }
+  const svc::ServiceTotals totals = service.totals();
+  EXPECT_EQ(totals.admitted, 3u);
+  EXPECT_EQ(totals.completed, 3u);
+  // cells counts grid cells (series share a cell): 5 + 4 + 2.
+  EXPECT_EQ(totals.cells_evaluated, 5u + 4u + 2u);
+}
+
+/// Evaluator that blocks until released — lets tests wedge the coordinator
+/// to observe backpressure and cancellation deterministically. The registry
+/// owns it; tests keep a raw pointer (registered evaluators live for the
+/// process lifetime).
+class GateEvaluator final : public core::Evaluator {
+ public:
+  explicit GateEvaluator(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] core::EvalResult evaluate(
+      core::Protocol, const core::ScenarioParams& s,
+      const core::EvalContext&) const override {
+    {
+      std::unique_lock lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      released_cv_.wait(lock, [&] { return released_; });
+    }
+    core::EvalResult r;
+    r.waste = s.epoch.alpha;
+    r.t_final = 1.0;
+    r.valid = true;
+    return r;
+  }
+
+  void wait_entered() const {
+    std::unique_lock lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ > 0; });
+  }
+  void release() const {
+    std::lock_guard lock(mu_);
+    released_ = true;
+    released_cv_.notify_all();
+  }
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable released_cv_;
+  mutable int entered_ = 0;
+  mutable bool released_ = false;
+};
+
+const GateEvaluator* register_gate(const std::string& name) {
+  auto owned = std::make_unique<GateEvaluator>(name);
+  const GateEvaluator* gate = owned.get();
+  core::EvaluatorRegistry::instance().add(std::move(owned));
+  return gate;
+}
+
+TEST(SvcService, QueueFullRejectsWithStructuredError) {
+  const GateEvaluator* gate = register_gate("test-gate-bp");
+  {
+    svc::SweepService service({.queue_cap = 1, .batch_max = 1, .threads = 2});
+    const svc::RequestSpec req = svc::parse_request_line(
+        "sweep proto=pure evaluator=test-gate-bp axis=alpha:0.1,0.9");
+    auto sink = [] {
+      static std::ostringstream os[4];
+      static int n = 0;
+      return svc::make_sink(svc::SinkKind::Json, os[n++], true);
+    };
+    // First request occupies the coordinator (gate blocks), second fills
+    // the queue, third must bounce.
+    svc::RequestHandle running = service.submit(req, sink());
+    gate->wait_entered();
+    svc::RequestHandle queued = service.submit(req, sink());
+    try {
+      (void)service.submit(req, sink());
+      FAIL() << "expected queue-full";
+    } catch (const svc::svc_error& e) {
+      EXPECT_EQ(e.code(), "queue-full");
+    }
+    EXPECT_EQ(service.totals().rejected_full, 1u);
+    gate->release();
+    EXPECT_FALSE(running.wait().failed);
+    EXPECT_FALSE(queued.wait().failed);
+  }
+}
+
+TEST(SvcService, CancellationStopsRemainingCells) {
+  const GateEvaluator* gate = register_gate("test-gate-cancel");
+  svc::SweepService service({.queue_cap = 4, .batch_max = 1, .threads = 1});
+  const svc::RequestSpec req = svc::parse_request_line(
+      "sweep proto=pure evaluator=test-gate-cancel axis=alpha:0.0-1.0:64");
+  std::ostringstream os;
+  svc::RequestHandle handle =
+      service.submit(req, svc::make_sink(svc::SinkKind::Json, os, true));
+  gate->wait_entered();
+  handle.cancel();
+  gate->release();
+  const svc::RequestMetrics& m = handle.wait();
+  EXPECT_TRUE(m.cancelled);
+  EXPECT_LT(m.cells_run, m.cells);
+  EXPECT_EQ(service.totals().cancelled, 1u);
+}
+
+TEST(SvcService, DrainFinishesAdmittedThenRejects) {
+  svc::SweepService service({.queue_cap = 8, .batch_max = 4, .threads = 2});
+  const std::string line =
+      "sweep proto=abft evaluator=model axis=alpha:0.1-0.9:7";
+  const svc::RequestSpec req = svc::parse_request_line(line);
+  std::ostringstream streams[3];
+  svc::RequestHandle handles[3];
+  for (int i = 0; i < 3; ++i)
+    handles[i] =
+        service.submit(req, svc::make_sink(svc::SinkKind::Json, streams[i], true));
+  service.drain_and_stop();
+  // Every admitted request finished, none dropped, bytes intact.
+  const std::string want = batch_reference(line);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(handles[i].finished());
+    EXPECT_EQ(handles[i].wait().rows_flushed, req.cells());
+    EXPECT_EQ(streams[i].str(), want);
+  }
+  // Post-drain submissions are structured rejections.
+  try {
+    (void)service.submit(req,
+                         svc::make_sink(svc::SinkKind::Json, streams[0], true));
+    FAIL() << "expected shutting-down";
+  } catch (const svc::svc_error& e) {
+    EXPECT_EQ(e.code(), "shutting-down");
+  }
+}
+
+TEST(SvcService, TenantFailureIsIsolated) {
+  class ThrowingEvaluator final : public core::Evaluator {
+   public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "test-throw";
+    }
+    [[nodiscard]] core::EvalResult evaluate(
+        core::Protocol, const core::ScenarioParams&,
+        const core::EvalContext&) const override {
+      throw std::runtime_error("intentional test failure");
+    }
+  };
+  core::EvaluatorRegistry::instance().add(
+      std::make_unique<ThrowingEvaluator>());
+  svc::SweepService service({.queue_cap = 8, .batch_max = 4, .threads = 2});
+  const std::string good_line =
+      "sweep proto=abft evaluator=model axis=alpha:0.1-0.9:5";
+  const svc::RequestSpec bad = svc::parse_request_line(
+      "sweep proto=pure evaluator=test-throw axis=alpha:0.1,0.9");
+  const svc::RequestSpec good = svc::parse_request_line(good_line);
+  std::ostringstream bad_os, good_os;
+  // Same batch: the failing tenant must not poison its neighbour.
+  svc::RequestHandle bad_h =
+      service.submit(bad, svc::make_sink(svc::SinkKind::Json, bad_os, true));
+  svc::RequestHandle good_h =
+      service.submit(good, svc::make_sink(svc::SinkKind::Json, good_os, true));
+  const svc::RequestMetrics& bm = bad_h.wait();
+  EXPECT_TRUE(bm.failed);
+  EXPECT_EQ(bm.error_code, "evaluate-error");
+  const svc::RequestMetrics& gm = good_h.wait();
+  EXPECT_FALSE(gm.failed) << gm.error_message;
+  EXPECT_EQ(good_os.str(), batch_reference(good_line));
+}
+
+// ---- Socket server end to end ----------------------------------------------
+
+struct Frame {
+  std::string payload;   ///< concatenated data frames
+  std::string trailer;   ///< trailer JSON (empty if none)
+  std::string error;     ///< err line (empty if none)
+  bool ended = false;
+};
+
+/// Drive one spec line over an established connection, collecting frames.
+Frame roundtrip(int fd, const std::string& line) {
+  Frame f;
+  EXPECT_TRUE(svc::write_line(fd, line));
+  svc::LineReader reader(fd);
+  std::string resp;
+  while (true) {
+    if (reader.read_line(resp) != svc::LineReader::Status::Ok) break;
+    if (resp.rfind("data ", 0) == 0) {
+      const std::size_t len = std::stoull(resp.substr(5));
+      EXPECT_EQ(reader.read_exact(len, f.payload),
+                svc::LineReader::Status::Ok);
+    } else if (resp.rfind("trailer ", 0) == 0) {
+      f.trailer = resp.substr(8);
+    } else if (resp.rfind("end", 0) == 0) {
+      f.ended = true;
+      break;
+    } else if (resp.rfind("err", 0) == 0) {
+      f.error = resp;
+      break;
+    } else {
+      EXPECT_EQ(resp.rfind("ok", 0), 0u) << "unexpected: " << resp;
+    }
+  }
+  return f;
+}
+
+std::string test_socket_path(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("abftc_svc_") + tag + "_" +
+           std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+TEST(SvcServer, StreamsFramesAndSurvivesBadRequests) {
+  svc::ServerConfig cfg;
+  cfg.unix_path = test_socket_path("basic");
+  cfg.service = {.queue_cap = 8, .batch_max = 4, .threads = 2};
+  svc::SweepServer server(cfg);
+  server.start();
+
+  const svc::Fd fd = svc::connect_unix(cfg.unix_path);
+  const std::string line =
+      "sweep proto=abft evaluator=model axis=alpha:0.1-0.9:5";
+
+  // A malformed request returns a structured error and the connection
+  // survives to serve the next one.
+  Frame bad = roundtrip(fd.get(), "sweep proto=frob");
+  EXPECT_NE(bad.error.find("err code=unknown-protocol"), std::string::npos);
+  EXPECT_FALSE(bad.ended);
+
+  Frame good = roundtrip(fd.get(), line);
+  EXPECT_TRUE(good.ended);
+  EXPECT_TRUE(good.error.empty());
+  EXPECT_EQ(good.payload, batch_reference(line));
+  EXPECT_NE(good.trailer.find("\"cells\":5"), std::string::npos);
+  EXPECT_NE(good.trailer.find("\"rows_flushed\":5"), std::string::npos);
+
+  // An oversized line is consumed, rejected, and the connection survives.
+  std::string huge = "sweep name=";
+  huge.append(svc::kMaxLineBytes, 'x');
+  Frame long_line = roundtrip(fd.get(), huge);
+  EXPECT_NE(long_line.error.find("err code=line-too-long"),
+            std::string::npos);
+  Frame after = roundtrip(fd.get(), line);
+  EXPECT_TRUE(after.ended);
+  EXPECT_EQ(after.payload, good.payload);
+
+  server.stop();
+  const svc::ServiceTotals totals = server.totals();
+  EXPECT_EQ(totals.completed, 2u);
+  EXPECT_EQ(totals.failed, 0u);
+}
+
+TEST(SvcServer, TcpListenerAndStatsCommand) {
+  svc::ServerConfig cfg;
+  cfg.tcp_port = 0;  // ephemeral loopback
+  cfg.service = {.queue_cap = 8, .batch_max = 2, .threads = 2};
+  svc::SweepServer server(cfg);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  const svc::Fd fd = svc::connect_tcp("127.0.0.1", server.tcp_port());
+  svc::LineReader reader(fd.get());
+  std::string resp;
+  ASSERT_TRUE(svc::write_line(fd.get(), "ping"));
+  ASSERT_EQ(reader.read_line(resp), svc::LineReader::Status::Ok);
+  EXPECT_EQ(resp, "ok pong");
+  ASSERT_TRUE(svc::write_line(fd.get(), "stats"));
+  ASSERT_EQ(reader.read_line(resp), svc::LineReader::Status::Ok);
+  EXPECT_EQ(resp.rfind("ok {\"admitted\":", 0), 0u);
+
+  const std::string line =
+      "sweep proto=pure,bi evaluator=model axis=mtbf:3600-7200:3 sink=csv";
+  Frame f = roundtrip(fd.get(), line);
+  EXPECT_TRUE(f.ended);
+  EXPECT_EQ(f.payload, batch_reference(line));
+  server.stop();
+}
+
+TEST(SvcServer, ConcurrentClientsGetExactBatchBytes) {
+  svc::ServerConfig cfg;
+  cfg.unix_path = test_socket_path("soak");
+  cfg.service = {.queue_cap = 16, .batch_max = 4, .threads = 4};
+  svc::SweepServer server(cfg);
+  server.start();
+
+  // Mixed shapes/sinks/evaluators so batches coalesce unlike tenants.
+  const std::string lines[] = {
+      "sweep name=a proto=abft evaluator=model axis=alpha:0.0-1.0:9",
+      "sweep name=b proto=pure,bi,abft evaluator=model "
+      "axis=mtbf:3600-14400:5 sink=csv",
+      "sweep name=c proto=bi evaluator=sim reps=30 axis=alpha:0.2,0.5,0.8",
+      "sweep name=d proto=abft evaluator=model axis=rho:0.1-0.9:6 "
+      "axis=alpha:0.25,0.75",
+  };
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::string streamed[kClients][kRounds];
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      const svc::Fd fd = svc::connect_unix(cfg.unix_path);
+      for (int r = 0; r < kRounds; ++r) {
+        Frame f = roundtrip(fd.get(), lines[c]);
+        EXPECT_TRUE(f.ended) << f.error;
+        streamed[c][r] = std::move(f.payload);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  server.stop();
+
+  for (int c = 0; c < kClients; ++c) {
+    const std::string want = batch_reference(lines[c]);
+    for (int r = 0; r < kRounds; ++r)
+      EXPECT_EQ(streamed[c][r], want)
+          << "client " << c << " round " << r
+          << ": served bytes must equal the batch engine's, every row "
+             "exactly once, regardless of concurrent tenants";
+  }
+  const svc::ServiceTotals totals = server.totals();
+  EXPECT_EQ(totals.completed, kClients * kRounds);
+  EXPECT_EQ(totals.failed, 0u);
+  EXPECT_EQ(totals.cancelled, 0u);
+}
+
+TEST(SvcServer, DisconnectCancelsInFlightRequest) {
+  const GateEvaluator* gate = register_gate("test-gate-disc");
+  svc::ServerConfig cfg;
+  cfg.unix_path = test_socket_path("disc");
+  cfg.service = {.queue_cap = 4, .batch_max = 1, .threads = 1};
+  svc::SweepServer server(cfg);
+  server.start();
+  {
+    const svc::Fd fd = svc::connect_unix(cfg.unix_path);
+    ASSERT_TRUE(svc::write_line(
+        fd.get(),
+        "sweep proto=pure evaluator=test-gate-disc axis=alpha:0.0-1.0:64"));
+    gate->wait_entered();
+  }  // client vanishes mid-request
+  // The connection thread polls peer_closed every ~50 ms while the gate
+  // holds the only worker; give it time to observe the disconnect and
+  // cancel before the remaining 63 cells become runnable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  gate->release();
+  server.stop();
+  const svc::ServiceTotals totals = server.totals();
+  EXPECT_EQ(totals.cancelled, 1u);
+  EXPECT_LT(totals.cells_evaluated, 64u);
+}
+
+TEST(SvcServer, DropDirectoryServesReqFiles) {
+  svc::ServerConfig cfg;
+  cfg.queue_dir = (fs::temp_directory_path() /
+                   ("abftc_svc_queue_" + std::to_string(::getpid())))
+                      .string();
+  cfg.service = {.queue_cap = 8, .batch_max = 2, .threads = 2};
+  cfg.poll_ms = 20;
+  fs::remove_all(cfg.queue_dir);
+  svc::SweepServer server(cfg);
+  server.start();
+
+  const std::string line =
+      "sweep proto=abft evaluator=model axis=alpha:0.1-0.9:4 sink=csv";
+  {
+    std::ofstream req(fs::path(cfg.queue_dir) / "job1.req");
+    req << line << '\n';
+  }
+  {
+    std::ofstream req(fs::path(cfg.queue_dir) / "job2.req");
+    req << "sweep proto=frob\n";
+  }
+  // Give the scanner (poll_ms = 20) time to claim both files; stop() then
+  // drains whatever was claimed before returning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server.stop();
+
+  std::ifstream out(fs::path(cfg.queue_dir) / "job1.out", std::ios::binary);
+  ASSERT_TRUE(out.good());
+  std::stringstream payload;
+  payload << out.rdbuf();
+  EXPECT_EQ(payload.str(), batch_reference(line));
+  std::ifstream trailer(fs::path(cfg.queue_dir) / "job1.trailer.json");
+  ASSERT_TRUE(trailer.good());
+  std::string tline;
+  std::getline(trailer, tline);
+  EXPECT_NE(tline.find("\"cells\":4"), std::string::npos);
+
+  std::ifstream err(fs::path(cfg.queue_dir) / "job2.err");
+  ASSERT_TRUE(err.good());
+  std::string eline;
+  std::getline(err, eline);
+  EXPECT_NE(eline.find("err code=unknown-protocol"), std::string::npos);
+  EXPECT_FALSE(fs::exists(fs::path(cfg.queue_dir) / "job2.out"));
+  fs::remove_all(cfg.queue_dir);
+}
+
+}  // namespace
