@@ -3,10 +3,16 @@
 /// real SIGKILLs, real torn checkpoint writes — measured survival compared
 /// against the model-predicted completion time per injection cell.
 ///
-///   dist_campaign --campaign=steps:0-5,ranks:0-3,kinds:kill+flip+torn
+///   dist_campaign --campaign=steps:0-5,ranks:0-3,kinds:kill+flip+torn+hang
 ///                 --ranks=4 --n=192 --nb=32 --group=3 --ckpt-every=2
 ///                 --storage=mmap:/dev/shm/abftc_campaign?mb=16
-///                 --seed=3405676766 --shard=0/1 --json
+///                 --seed=3405676766 --shard=0/1 --blind=1 --json
+///
+/// `--blind=1` runs every cell blind: the launcher verifies the checksum
+/// invariant at every step boundary and localizes corruption from the
+/// weighted/unweighted residual ratio — injection sites never reach its
+/// recovery paths (each cell record carries injected vs located
+/// coordinates and a site_match flag to prove it).
 ///
 /// Every cell must recover (unrecovered == 0 is the hard gate); the
 /// measured/predicted ratio per cell is reported for the CI band check.
@@ -57,6 +63,7 @@ void emit_json(const std::string& path, const dist::CampaignReport& report) {
   json.kv("campaign", report.spec.to_spec());
   json.kv("shard", report.options.shard);
   json.kv("nshards", report.options.nshards);
+  json.kv("blind", report.options.blind);
   json.kv("hardware_threads",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.end_object();
@@ -66,6 +73,8 @@ void emit_json(const std::string& path, const dist::CampaignReport& report) {
   json.kv("restore_seconds", report.calib.restore_s);
   json.kv("check_seconds", report.calib.check_s);
   json.kv("recons_seconds", report.calib.recons_s);
+  json.kv("locate_seconds", report.calib.locate_s);
+  json.kv("hang_timeout_seconds", report.calib.hang_timeout_s);
   json.key("step_seconds");
   json.begin_array();
   for (const double s : report.calib.step_seconds) json.value(s);
@@ -88,6 +97,31 @@ void emit_json(const std::string& path, const dist::CampaignReport& report) {
     json.kv("restores", c.restores);
     json.kv("reconstructions", c.reconstructions);
     json.kv("respawns", c.respawns);
+    json.kv("escalations", c.escalations);
+    json.kv("hangs", c.hangs);
+    // Per-rung timing breakdown of the recovery this cell actually took.
+    json.kv("check_seconds", c.check_seconds);
+    json.kv("locate_seconds", c.locate_seconds);
+    json.kv("recons_seconds", c.recons_seconds);
+    json.kv("restore_seconds", c.restore_seconds);
+    json.kv("hang_wait_seconds", c.hang_wait_seconds);
+    json.kv("site_match", c.site_match);
+    const auto sites = [&](const char* key,
+                           const std::vector<dist::FaultSite>& list) {
+      json.key(key);
+      json.begin_array();
+      for (const dist::FaultSite& s : list) {
+        json.begin_object();
+        json.kv("block_row", s.block_row);
+        json.kv("block_col", s.block_col);
+        json.kv("row", s.row);
+        json.kv("col", s.col);
+        json.end_object();
+      }
+      json.end_array();
+    };
+    sites("injected", c.injected);
+    sites("located", c.located);
     json.end_object();
   }
   json.end_array();
@@ -162,6 +196,7 @@ int main(int argc, char** argv) {
     options.nshards =
         static_cast<std::size_t>(std::stoull(shard.substr(slash + 1)));
   }
+  options.blind = args.get_bool("blind", false);
   const bool want_json = args.has("json");
   std::string json_path = args.get_string("json", "");
   if (want_json && json_path.empty()) json_path = "BENCH_dist_campaign.json";
@@ -173,7 +208,8 @@ int main(int argc, char** argv) {
             << spec.cell_count() << " cells total), n=" << cfg.n
             << " nb=" << cfg.nb << " ranks=" << cfg.ranks
             << " ckpt_every=" << cfg.ckpt_every << " storage="
-            << options.storage << " seed=" << cfg.seed << "\n";
+            << options.storage << " seed=" << cfg.seed
+            << (options.blind ? " blind" : "") << "\n";
 
   const dist::CampaignReport report = dist::run_campaign(cfg, spec, options);
 
@@ -181,16 +217,22 @@ int main(int argc, char** argv) {
             << report.calib.step_seconds.size() << " steps; restore "
             << report.calib.restore_s * 1e3 << " ms, check "
             << report.calib.check_s * 1e3 << " ms, recons "
-            << report.calib.recons_s * 1e3 << " ms\n\n";
+            << report.calib.recons_s * 1e3 << " ms, locate "
+            << report.calib.locate_s * 1e3 << " ms, hang deadline "
+            << report.calib.hang_timeout_s * 1e3 << " ms\n\n";
   std::cout << "index step rank kind  recovered measured[ms] predicted[ms] "
-               "ratio  restores recons respawns\n";
+               "ratio  restores recons respawns escal hangs sites\n";
   for (const dist::CellOutcome& c : report.cells) {
-    std::printf("%5zu %4zu %4zu %-5s %-9s %12.3f %13.3f %6.2f %9zu %6zu %8zu\n",
+    // "sites" compares derived localization to the injector's ground truth;
+    // cells that inject no corruption trivially match.
+    std::printf("%5zu %4zu %4zu %-5s %-9s %12.3f %13.3f %6.2f %9zu %6zu %8zu "
+                "%5zu %5zu %s\n",
                 c.cell.index, c.cell.step, c.cell.rank,
                 std::string(dist::to_string(c.cell.kind)).c_str(),
                 c.recovered ? "yes" : "NO", c.measured_seconds * 1e3,
                 c.predicted_seconds * 1e3, c.ratio, c.restores,
-                c.reconstructions, c.respawns);
+                c.reconstructions, c.respawns, c.escalations, c.hangs,
+                c.site_match ? "match" : "MISS");
   }
   std::cout << "\ncells=" << report.cells.size()
             << " unrecovered=" << report.unrecovered

@@ -18,6 +18,8 @@ AbftLu::AbftLu(Matrix a, std::size_t nb, ProcessGrid grid)
                 "block count must be a multiple of the grid rows");
   active_cs_ = row_group_checksums(a_, nb_, grid_.prows);
   frozen_cs_ = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
+  wactive_cs_ = row_group_weighted_checksums(a_, nb_, grid_.prows);
+  wfrozen_cs_ = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
 }
 
 void AbftLu::factor(const std::vector<Fault>& faults) {
@@ -49,12 +51,19 @@ void AbftLu::step(std::size_t k) {
   const std::size_t g = k / grid_.prows;
   const std::size_t csr = active_cs_.rows();
 
+  // The pivot block row's weight inside its checksum group. Every operation
+  // below is linear in rows, so the weighted accumulators stay consistent by
+  // receiving the identical transformations as the sum accumulators.
+  const double w = static_cast<double>(k % grid_.prows + 1);
+
   // The pivot block row leaves the active set: remove its pre-step values
   // from the active accumulator (they are re-added, post-factorization, to
   // the frozen accumulator at the end of the step).
   for (std::size_t r = 0; r < nb_; ++r)
-    for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t j = 0; j < n; ++j) {
       active_cs_(g * nb_ + r, j) -= a_(off + r, j);
+      wactive_cs_(g * nb_ + r, j) -= w * a_(off + r, j);
+    }
 
   // (a) Factor the diagonal block.
   MatrixView diag = a_.block(off, off, nb_, nb_);
@@ -69,6 +78,7 @@ void AbftLu::step(std::size_t k) {
   if (rest > 0)
     trsm_right_upper(diag, a_.block(off + nb_, off, rest, nb_));
   trsm_right_upper(diag, active_cs_.block(0, off, csr, nb_));
+  trsm_right_upper(diag, wactive_cs_.block(0, off, csr, nb_));
 
   // (d) Trailing update A(i>k, j>k) -= A(i>k, k) · A(k, j>k), applied to the
   //     payload and to the active checksums alike.
@@ -79,12 +89,17 @@ void AbftLu::step(std::size_t k) {
     gemm_sub(active_cs_.block(0, off, csr, nb_),
              a_.block(off, off + nb_, nb_, rest),
              active_cs_.block(0, off + nb_, csr, rest));
+    gemm_sub(wactive_cs_.block(0, off, csr, nb_),
+             a_.block(off, off + nb_, nb_, rest),
+             wactive_cs_.block(0, off + nb_, csr, rest));
   }
 
-  // Freeze the finalized pivot block row into the frozen accumulator.
+  // Freeze the finalized pivot block row into the frozen accumulators.
   for (std::size_t r = 0; r < nb_; ++r)
-    for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t j = 0; j < n; ++j) {
       frozen_cs_(g * nb_ + r, j) += a_(off + r, j);
+      wfrozen_cs_(g * nb_ + r, j) += w * a_(off + r, j);
+    }
   frozen_steps_ = k + 1;
 }
 
@@ -138,19 +153,28 @@ Matrix AbftLu::reconstruct_product() const {
 }
 
 double AbftLu::checksum_residual() const {
-  // Recompute both accumulators from the payload and compare.
+  // Recompute all four accumulators from the payload and compare.
   Matrix expect_active = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
   Matrix expect_frozen = Matrix::zeros(frozen_cs_.rows(), frozen_cs_.cols());
+  Matrix expect_wactive = Matrix::zeros(active_cs_.rows(), active_cs_.cols());
+  Matrix expect_wfrozen = Matrix::zeros(frozen_cs_.rows(), frozen_cs_.cols());
   const std::size_t n = a_.rows();
   for (std::size_t bi = 0; bi < nbk_; ++bi) {
-    Matrix& target = (bi < frozen_steps_) ? expect_frozen : expect_active;
+    const bool frozen = bi < frozen_steps_;
+    Matrix& target = frozen ? expect_frozen : expect_active;
+    Matrix& wtarget = frozen ? expect_wfrozen : expect_wactive;
     const std::size_t g = bi / grid_.prows;
+    const double w = static_cast<double>(bi % grid_.prows + 1);
     for (std::size_t r = 0; r < nb_; ++r)
-      for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t j = 0; j < n; ++j) {
         target(g * nb_ + r, j) += a_(bi * nb_ + r, j);
+        wtarget(g * nb_ + r, j) += w * a_(bi * nb_ + r, j);
+      }
   }
-  return std::max(max_abs_diff(expect_active, active_cs_),
-                  max_abs_diff(expect_frozen, frozen_cs_));
+  return std::max(std::max(max_abs_diff(expect_active, active_cs_),
+                           max_abs_diff(expect_frozen, frozen_cs_)),
+                  std::max(max_abs_diff(expect_wactive, wactive_cs_),
+                           max_abs_diff(expect_wfrozen, wfrozen_cs_)));
 }
 
 void plain_blocked_lu(Matrix& a, std::size_t nb) {

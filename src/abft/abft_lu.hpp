@@ -49,9 +49,21 @@ class AbftLu {
   /// L·U recomputed from the compact factor (verification helper).
   [[nodiscard]] Matrix reconstruct_product() const;
 
-  /// Max-abs residual of both checksum invariants at the current state
-  /// (tests assert ~0 at every step boundary).
+  /// Max-abs residual of all four checksum invariants (sum + weighted,
+  /// active + frozen) at the current state (tests assert ~0 at every step
+  /// boundary).
   [[nodiscard]] double checksum_residual() const;
+
+  /// The weighted accumulator pair (Huang–Abraham localization relation):
+  /// w_cs[g] = Σ_m (m+1)·row_{g·P+m} over the matching frozen/active split.
+  /// Maintained through the identical per-step operations as the sum pair,
+  /// so the dist runtime's copies must match these bitwise.
+  [[nodiscard]] const Matrix& weighted_active_cs() const noexcept {
+    return wactive_cs_;
+  }
+  [[nodiscard]] const Matrix& weighted_frozen_cs() const noexcept {
+    return wfrozen_cs_;
+  }
 
   [[nodiscard]] const RecoveryStats& recovery() const noexcept {
     return recovery_;
@@ -69,9 +81,11 @@ class AbftLu {
   void step(std::size_t k);
   void recover_rank(std::size_t k, std::size_t dead_rank);
 
-  Matrix a_;          // n×n working matrix (becomes L\U)
-  Matrix active_cs_;  // (groups·nb) × n
-  Matrix frozen_cs_;  // (groups·nb) × n
+  Matrix a_;           // n×n working matrix (becomes L\U)
+  Matrix active_cs_;   // (groups·nb) × n
+  Matrix frozen_cs_;   // (groups·nb) × n
+  Matrix wactive_cs_;  // position-weighted twins of the two above
+  Matrix wfrozen_cs_;
   std::size_t nb_, nbk_;
   std::size_t frozen_steps_ = 0;  ///< block rows 0..frozen_steps_-1 frozen
   ProcessGrid grid_;

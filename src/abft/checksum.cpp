@@ -69,6 +69,30 @@ Matrix row_group_checksums(const Matrix& a, std::size_t nb,
   return cs;
 }
 
+Matrix row_group_weighted_checksums(const Matrix& a, std::size_t nb,
+                                    std::size_t group) {
+  check_blocking(a, nb);
+  const std::size_t nbr = a.rows() / nb;
+  const std::size_t groups = group_count(nbr, group);
+  Matrix cs(groups * nb, a.cols(), 0.0);
+  // Same ownership scheme as row_group_checksums: whole output rows, members
+  // summed in ascending block-row order — bitwise-identical for every thread
+  // count. The weight (m+1) is an exact small integer in double.
+  common::parallel_for(
+      groups * nb,
+      [&](std::size_t gr) {
+        const std::size_t g = gr / nb;
+        const std::size_t r = gr % nb;
+        for (std::size_t bi = g * group; bi < (g + 1) * group; ++bi) {
+          const double w = static_cast<double>(bi - g * group + 1);
+          for (std::size_t j = 0; j < a.cols(); ++j)
+            cs(gr, j) += w * a(bi * nb + r, j);
+        }
+      },
+      checksum_threads(), checksum_dispatch());
+  return cs;
+}
+
 Matrix col_group_checksums(const Matrix& a, std::size_t nb,
                            std::size_t group) {
   check_blocking(a, nb);

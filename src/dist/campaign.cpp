@@ -62,10 +62,28 @@ double replay_time(const Calibration& calib, std::size_t c, std::size_t s) {
 }
 
 double predict(const Calibration& calib, const Cell& cell,
-               std::size_t ckpt_every) {
+               std::size_t ckpt_every, bool blind) {
+  // Blind runs pay per-boundary verification in t_clean already; only the
+  // legacy mode adds a dedicated detection sweep for corruption cells.
+  const double detect = blind ? 0.0 : calib.check_s;
   switch (cell.kind) {
     case FaultKind::Flip:
-      return calib.t_clean + calib.check_s + calib.recons_s;
+      // detect → locate → reconstruct → re-verify.
+      return calib.t_clean + detect + calib.locate_s + calib.recons_s +
+             calib.check_s;
+    case FaultKind::Flip2: {
+      // detect → locate → escalate straight to the covering checkpoint
+      // (two located block rows rule out single-block reconstruction).
+      const std::size_t c = (cell.step / ckpt_every) * ckpt_every;
+      return calib.t_clean + detect + calib.locate_s + calib.restore_s +
+             replay_time(calib, c, cell.step);
+    }
+    case FaultKind::Hang: {
+      // The victim sits out the deadline before SIGKILL + restore + replay.
+      const std::size_t c = (cell.step / ckpt_every) * ckpt_every;
+      return calib.t_clean + calib.hang_timeout_s + calib.restore_s +
+             replay_time(calib, c, cell.step);
+    }
     case FaultKind::Kill: {
       const std::size_t c = (cell.step / ckpt_every) * ckpt_every;
       return calib.t_clean + calib.restore_s +
@@ -83,11 +101,12 @@ double predict(const Calibration& calib, const Cell& cell,
   return calib.t_clean;
 }
 
-/// Residual of the checksum invariants over copied-out final state (the
-/// calibration clone of Launcher::residual_now; frozen_steps = nbk after a
-/// completed run).
+/// Residual of all four checksum invariants over copied-out final state
+/// (the calibration clone of Launcher::residual_now; frozen_steps = nbk
+/// after a completed run, so the active accumulators must be ~0).
 double final_residual(const abft::Matrix& a, const abft::Matrix& active,
-                      const abft::Matrix& frozen, std::size_t nb,
+                      const abft::Matrix& frozen, const abft::Matrix& wactive,
+                      const abft::Matrix& wfrozen, std::size_t nb,
                       std::size_t group) {
   const std::size_t nbk = a.rows() / nb;
   const std::size_t groups = nbk / group;
@@ -95,14 +114,31 @@ double final_residual(const abft::Matrix& a, const abft::Matrix& active,
   for (std::size_t g = 0; g < groups; ++g)
     for (std::size_t r = 0; r < nb; ++r)
       for (std::size_t j = 0; j < a.cols(); ++j) {
-        double sum = 0.0;
-        for (std::size_t m = 0; m < group; ++m)
-          sum += a((g * group + m) * nb + r, j);
+        double sum = 0.0, wsum = 0.0;
+        for (std::size_t m = 0; m < group; ++m) {
+          const double v = a((g * group + m) * nb + r, j);
+          sum += v;
+          wsum += static_cast<double>(m + 1) * v;
+        }
         const std::size_t row = g * nb + r;
         worst = std::max(worst, std::abs(sum - frozen(row, j)));
         worst = std::max(worst, std::abs(active(row, j)));
+        worst = std::max(worst, std::abs(wsum - wfrozen(row, j)));
+        worst = std::max(worst, std::abs(wactive(row, j)));
       }
   return worst;
+}
+
+/// Set-equality of injected vs located sites (order-insensitive: the
+/// localization sweep reports in (row, column) scan order, the injector in
+/// injection order).
+bool sites_match(std::vector<FaultSite> a, std::vector<FaultSite> b) {
+  const auto by_coords = [](const FaultSite& x, const FaultSite& y) {
+    return x.row != y.row ? x.row < y.row : x.col < y.col;
+  };
+  std::sort(a.begin(), a.end(), by_coords);
+  std::sort(b.begin(), b.end(), by_coords);
+  return a == b;
 }
 
 Calibration calibrate(const DistConfig& cfg, const CampaignOptions& options) {
@@ -125,8 +161,18 @@ Calibration calibrate(const DistConfig& cfg, const CampaignOptions& options) {
   // check_s: one full residual sweep over the final state.
   t0 = Clock::now();
   (void)final_residual(clean.lu(), clean.active_cs(), clean.frozen_cs(),
+                       clean.weighted_active_cs(), clean.weighted_frozen_cs(),
                        cfg.nb, cfg.group);
   calib.check_s = seconds_since(t0);
+
+  // locate_s: one weighted/unweighted localization sweep (same state).
+  t0 = Clock::now();
+  (void)locate_corruption(clean.lu().view(), clean.active_cs().view(),
+                          clean.frozen_cs().view(),
+                          clean.weighted_active_cs().view(),
+                          clean.weighted_frozen_cs().view(), cfg.nb, cfg.group,
+                          cfg.n / cfg.nb);
+  calib.locate_s = seconds_since(t0);
 
   // recons_s: reconstruct one (frozen) block on scratch copies.
   abft::Matrix scratch = clean.lu();
@@ -156,18 +202,31 @@ CampaignReport run_campaign(const DistConfig& cfg, const CampaignSpec& spec,
   ABFTC_REQUIRE(spec.rank_hi < cfg.ranks,
                 "campaign ranks exceed the configured rank count");
 
+  // Blind campaigns run calibration and every cell with per-boundary
+  // verification, so t_clean and the cells pay the same check cadence.
+  DistConfig base = cfg;
+  base.blind = options.blind;
+
   CampaignReport report;
-  report.config = cfg;
+  report.config = base;
   report.spec = spec;
   report.options = options;
-  report.calib = calibrate(cfg, options);
+  report.calib = calibrate(base, options);
+
+  // Hang cells wait out the step deadline before recovery; derive a tight
+  // one from the calibrated step times so a campaign doesn't sit out the
+  // default 30 s per hang cell.
+  double max_step = 0.0;
+  for (const double s : report.calib.step_seconds)
+    max_step = std::max(max_step, s);
+  report.calib.hang_timeout_s = std::max(0.25, 20.0 * max_step);
 
   // The clean factors every recovered cell must reproduce.
   abft::Matrix clean_lu;
   {
     const CellStorage storage = storage_for(options.storage, "ref");
     auto backend = ckpt::io::make_backend(storage.spec);
-    Launcher ref(cfg, *backend);
+    Launcher ref(base, *backend);
     (void)ref.run();
     clean_lu = ref.lu();
     cleanup(storage);
@@ -180,8 +239,10 @@ CampaignReport run_campaign(const DistConfig& cfg, const CampaignSpec& spec,
         storage_for(options.storage, "cell" + std::to_string(index));
     auto backend = ckpt::io::make_backend(storage.spec);
 
-    DistConfig cell_cfg = cfg;
+    DistConfig cell_cfg = base;
     cell_cfg.flip_seed = cell_seed(cfg.seed, index);
+    if (cell.kind == FaultKind::Hang)
+      cell_cfg.step_timeout_s = report.calib.hang_timeout_s;
 
     std::vector<Injection> faults;
     ckpt::io::StorageBackend* effective = backend.get();
@@ -206,7 +267,8 @@ CampaignReport run_campaign(const DistConfig& cfg, const CampaignSpec& spec,
     CellOutcome out;
     out.cell = cell;
     out.measured_seconds = rep.wall_seconds;
-    out.predicted_seconds = predict(report.calib, cell, cfg.ckpt_every);
+    out.predicted_seconds =
+        predict(report.calib, cell, cfg.ckpt_every, options.blind);
     out.ratio = out.predicted_seconds > 0.0
                     ? rep.wall_seconds / out.predicted_seconds
                     : 0.0;
@@ -214,6 +276,16 @@ CampaignReport run_campaign(const DistConfig& cfg, const CampaignSpec& spec,
     out.restores = rep.restores;
     out.reconstructions = rep.reconstructions;
     out.respawns = rep.respawns;
+    out.escalations = rep.escalations;
+    out.hangs = rep.hangs;
+    out.check_seconds = rep.check_seconds;
+    out.locate_seconds = rep.locate_seconds;
+    out.recons_seconds = rep.recons_seconds;
+    out.restore_seconds = rep.restore_seconds;
+    out.hang_wait_seconds = rep.hang_wait_seconds;
+    out.injected = rep.injected;
+    out.located = rep.located;
+    out.site_match = sites_match(rep.injected, rep.located);
     out.factor_error = abft::relative_error(launcher.lu(), clean_lu);
     // Recovered = the run survived AND produced the right answer: the
     // checksum invariants hold and the factors match the uninjected run

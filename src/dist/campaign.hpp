@@ -12,7 +12,19 @@
 ///   kill  t = t_clean + restore + Σ step_s[c..s]   (c = covering boundary)
 ///   torn  same, with c the boundary *before* the torn one (the restore
 ///         falls back past the torn snapshot)
-///   flip  t = t_clean + check + recons
+///   flip  t = t_clean + locate + recons + check  (+ a detection check when
+///         not blind; blind runs already pay per-boundary checks in t_clean)
+///   flip2 t = t_clean + locate + restore + Σ step_s[c..s]  (localization
+///         names two block rows → reconstruction is skipped, the ladder
+///         escalates straight to the covering checkpoint)
+///   hang  t = t_clean + deadline + restore + Σ step_s[c..s]  (the victim
+///         sits out the hang deadline before SIGKILL + respawn)
+///
+/// With `blind = true` the cells run with per-boundary verification and the
+/// launcher is never told where (or when) a fault landed: detection comes
+/// from the invariant, localization from the weighted/unweighted residual
+/// ratio. Each cell records the injector's ground-truth sites next to the
+/// derived ones so the record proves localization worked (`site_match`).
 ///
 /// — the measured-vs-model ratio is the paper's model-validation move
 /// (Section V-A) applied to real process death instead of simulated clocks.
@@ -39,6 +51,10 @@ struct Calibration {
   double restore_s = 0.0;  ///< newest-restorable read + verify
   double check_s = 0.0;    ///< checksum-residual verification sweep
   double recons_s = 0.0;   ///< one block reconstruction
+  double locate_s = 0.0;   ///< one weighted/unweighted localization sweep
+  /// Hang cells run with this step deadline (derived from the calibrated
+  /// step times so a hang cell doesn't sit out the default 30 s).
+  double hang_timeout_s = 0.0;
 };
 
 struct CellOutcome {
@@ -50,6 +66,16 @@ struct CellOutcome {
   double residual = 0.0;
   double factor_error = 0.0;  ///< relative error of the factors vs clean
   std::size_t restores = 0, reconstructions = 0, respawns = 0;
+  std::size_t escalations = 0, hangs = 0;
+  // Per-rung timing breakdown, so measured-vs-model attributes cost to the
+  // rung the recovery actually took.
+  double check_seconds = 0.0, locate_seconds = 0.0, recons_seconds = 0.0,
+         restore_seconds = 0.0, hang_wait_seconds = 0.0;
+  std::vector<FaultSite> injected;  ///< ground truth (record only)
+  std::vector<FaultSite> located;   ///< derived by locate_fault()
+  /// Derived sites == injected sites (as sets). Trivially true for cells
+  /// that inject no corruption (kill/torn/hang).
+  bool site_match = false;
 };
 
 struct CampaignOptions {
@@ -57,6 +83,10 @@ struct CampaignOptions {
                                    ///< get a per-cell path suffix
   std::size_t shard = 0;           ///< this invocation's shard index
   std::size_t nshards = 1;         ///< total shards (cells: i % nshards)
+  /// Run every cell (and the calibration) blind: per-boundary verification,
+  /// localization from residuals only — injection sites never reach the
+  /// launcher's recovery paths.
+  bool blind = false;
 };
 
 struct CampaignReport {

@@ -4,6 +4,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -71,11 +72,18 @@ std::optional<Message> recv(Mailbox& mb, std::uint64_t& last_seen,
                             double timeout_s) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
+  // Capped exponential backoff: the first probes stay 50 µs apart so a
+  // just-posted frame (or a rank death) is noticed far below a block step,
+  // but a long wait — checkpoint boundary, a hang cell sitting out its
+  // deadline — decays to 1 ms naps instead of burning a core.
+  long nap_ns = 50'000;
+  constexpr long kNapCapNs = 1'000'000;
   while (true) {
     if (auto msg = try_recv(mb, last_seen)) return msg;
     if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
-    timespec nap{0, 50'000};  // 50 µs between probes
+    timespec nap{0, nap_ns};
     ::nanosleep(&nap, nullptr);
+    nap_ns = std::min(nap_ns * 2, kNapCapNs);
   }
 }
 

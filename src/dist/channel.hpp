@@ -96,9 +96,10 @@ void post(Mailbox& mb, MsgType type, std::uint64_t a0 = 0, std::uint64_t a1 = 0,
 [[nodiscard]] std::optional<Message> try_recv(Mailbox& mb,
                                               std::uint64_t& last_seen);
 
-/// Blocking receive with deadline: acquire-poll with a short sleep between
-/// probes (~50 µs, so rank-death detection latency stays far below a block
-/// step). nullopt on timeout.
+/// Blocking receive with deadline: acquire-poll with capped exponential
+/// backoff between probes (50 µs doubling to 1 ms — fresh frames and rank
+/// deaths are still noticed far below a block step, while long waits stop
+/// burning a core). nullopt on timeout.
 [[nodiscard]] std::optional<Message> recv(Mailbox& mb,
                                           std::uint64_t& last_seen,
                                           double timeout_s);

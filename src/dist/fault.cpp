@@ -14,6 +14,8 @@ std::string_view to_string(FaultKind k) noexcept {
     case FaultKind::Kill: return "kill";
     case FaultKind::Flip: return "flip";
     case FaultKind::Torn: return "torn";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::Flip2: return "flip2";
   }
   return "?";
 }
@@ -24,8 +26,10 @@ FaultKind kind_from(std::string_view name) {
   if (name == "kill") return FaultKind::Kill;
   if (name == "flip") return FaultKind::Flip;
   if (name == "torn") return FaultKind::Torn;
+  if (name == "hang") return FaultKind::Hang;
+  if (name == "flip2") return FaultKind::Flip2;
   ABFTC_REQUIRE(false, "unknown fault kind '" + std::string(name) +
-                           "' (known: kill, flip, torn)");
+                           "' (known: kill, flip, torn, hang, flip2)");
 }
 
 /// "LO-HI" or a single "N" (both bounds inclusive).
@@ -82,7 +86,8 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
   ABFTC_REQUIRE(have_steps, "campaign spec needs steps:LO-HI");
   ABFTC_REQUIRE(have_ranks, "campaign spec needs ranks:LO-HI");
   ABFTC_REQUIRE(!spec.kinds.empty(),
-                "campaign spec needs kinds:kill+flip+torn (any subset)");
+                "campaign spec needs kinds:kill+flip+torn+hang+flip2 "
+                "(any subset)");
   return spec;
 }
 

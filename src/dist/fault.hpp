@@ -22,6 +22,15 @@
 ///   torn — the checkpoint covering step k is torn in storage (committed
 ///          but corrupt), and the victim is then SIGKILLed at step k, so
 ///          the restore path must fall back past the torn snapshot.
+///   hang — SIGSTOP the victim mid-step: alive but silent, so
+///          waitpid(WNOHANG) never fires and only the coordinator's
+///          response deadline can tell livelock from death. Recovery:
+///          SIGKILL at the deadline, then the death path (restore +
+///          respawn + replay).
+///   flip2 — two bit flips in one checksum group (same class, same block
+///          column, distinct elements). Localization names two block rows,
+///          so single-block reconstruction provably cannot repair it — the
+///          recovery ladder must escalate to a checkpoint restore.
 
 #include <cstddef>
 #include <cstdint>
@@ -31,7 +40,7 @@
 
 namespace abftc::dist {
 
-enum class FaultKind : std::uint8_t { Kill, Flip, Torn };
+enum class FaultKind : std::uint8_t { Kill, Flip, Torn, Hang, Flip2 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
 
@@ -45,7 +54,7 @@ struct Cell {
 
 /// The campaign grid. Parsed from the `--campaign=` spec syntax:
 ///
-///   steps:LO-HI,ranks:LO-HI,kinds:kill+flip+torn
+///   steps:LO-HI,ranks:LO-HI,kinds:kill+flip+torn+hang+flip2
 ///
 /// where a range may also be a single value ("steps:3"). Keys may appear
 /// in any order; all three are required. Bounds are inclusive.

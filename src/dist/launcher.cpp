@@ -9,11 +9,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "abft/checksum.hpp"
 #include "abft/kernels.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 #include "common/rng.hpp"
 
 namespace abftc::dist {
@@ -36,6 +38,24 @@ constexpr ckpt::RegionId kRegionProgress = 0;
 constexpr ckpt::RegionId kRegionMatrix = 1;
 constexpr ckpt::RegionId kRegionActive = 2;
 constexpr ckpt::RegionId kRegionFrozen = 3;
+constexpr ckpt::RegionId kRegionWActive = 4;
+constexpr ckpt::RegionId kRegionWFrozen = 5;
+
+/// A residual above this is corruption (the clean-run noise is orders of
+/// magnitude below at the shapes the runtime handles).
+constexpr double kDetectFloor = 1e-8;
+
+/// Minimum post-flip |Δ| the injector accepts: 10⁴× the detection floor, so
+/// a chosen site *provably* clears it instead of hoping the element was big.
+constexpr double kFlipMargin = 1e-4;
+
+/// Maximum post-flip magnitude the injector accepts. A top-exponent-bit flip
+/// can land just under DBL_MAX — finite, but the weighted accumulator
+/// recomputation multiplies it by the group position, overflowing r2 to Inf
+/// and turning a localizable single flip into an unresolvable column. Capped
+/// far enough below DBL_MAX that w·Δ plus the surviving addends stays
+/// finite for any realistic group size.
+constexpr double kFlipMagnitudeCap = 1e300;
 
 }  // namespace
 
@@ -51,6 +71,12 @@ Launcher::Launcher(DistConfig cfg, ckpt::io::StorageBackend& backend)
   nbk_ = layout_.nbk;
   ABFTC_REQUIRE(cfg_.ckpt_every > 0, "ckpt_every must be positive");
   ranks_.resize(cfg_.ranks);
+  // Resolved here, outside the serial KernelPolicyGuard that run() holds:
+  // the residual sweep passes this thread count to parallel_for explicitly.
+  verify_threads_ =
+      cfg_.verify_threads != 0
+          ? cfg_.verify_threads
+          : std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
 }
 
 Launcher::~Launcher() { reap_all(); }
@@ -103,9 +129,9 @@ void Launcher::spawn(std::size_t r) {
 }
 
 bool Launcher::await_done(std::size_t r, std::size_t k, RunReport& report) {
-  (void)report;
   Rank& rank = ranks_[r];
   const auto t0 = Clock::now();
+  long nap_ns = 50'000;  // capped exponential backoff, 50 µs → 1 ms
   while (true) {
     if (rank.pid > 0) {
       if (auto msg = try_recv(shared_.rsp[r], rank.rsp_seen)) {
@@ -127,8 +153,13 @@ bool Launcher::await_done(std::size_t r, std::size_t k, RunReport& report) {
       return false;  // already known dead (killed before this wait)
     }
     if (seconds_since(t0) > cfg_.step_timeout_s) {
-      // A hung rank is indistinguishable from a dead one to the protocol:
-      // make it dead and let the death path recover.
+      // Deadline with the rank still alive: waitpid(WNOHANG) above ruled
+      // out death, so it is hung — SIGSTOPped, livelocked, or wedged. That
+      // distinction (livelock vs death) is worth a separate counter; the
+      // remedy is the same: SIGKILL (which stopped processes do honor) and
+      // let the death path recover.
+      ++report.hangs;
+      report.hang_wait_seconds += seconds_since(t0);
       ::kill(rank.pid, SIGKILL);
       int status = 0;
       ::waitpid(rank.pid, &status, 0);
@@ -137,8 +168,9 @@ bool Launcher::await_done(std::size_t r, std::size_t k, RunReport& report) {
       rank.ready_fd = -1;
       return false;
     }
-    timespec nap{0, 50'000};
+    timespec nap{0, nap_ns};
     ::nanosleep(&nap, nullptr);
+    nap_ns = std::min(nap_ns * 2, 1'000'000L);
   }
 }
 
@@ -160,6 +192,8 @@ ckpt::io::SnapshotBlob Launcher::make_blob(std::size_t step) const {
       {kRegionMatrix, shared_.matrix, mat_bytes},
       {kRegionActive, shared_.active, cs_bytes},
       {kRegionFrozen, shared_.frozen, cs_bytes},
+      {kRegionWActive, shared_.wactive, cs_bytes},
+      {kRegionWFrozen, shared_.wfrozen, cs_bytes},
   };
   for (const auto& r : regions) {
     ckpt::io::RegionBlob rb;
@@ -198,6 +232,16 @@ void Launcher::load_blob(const ckpt::io::SnapshotBlob& blob) {
         ABFTC_CHECK(r.payload.size() == cs_bytes,
                     "dist snapshot frozen-checksum region has the wrong size");
         std::memcpy(shared_.frozen, r.payload.data(), cs_bytes);
+        break;
+      case kRegionWActive:
+        ABFTC_CHECK(r.payload.size() == cs_bytes,
+                    "dist snapshot weighted-active region has the wrong size");
+        std::memcpy(shared_.wactive, r.payload.data(), cs_bytes);
+        break;
+      case kRegionWFrozen:
+        ABFTC_CHECK(r.payload.size() == cs_bytes,
+                    "dist snapshot weighted-frozen region has the wrong size");
+        std::memcpy(shared_.wfrozen, r.payload.data(), cs_bytes);
         break;
       default:
         ABFTC_CHECK(false, "dist snapshot has an unknown region");
@@ -242,87 +286,150 @@ std::size_t Launcher::restore_and_respawn(RunReport& report) {
 }
 
 double Launcher::residual_now() const {
-  // Recompute both accumulators from the payload (AbftLu::checksum_residual
-  // over the arena): the invariant holds at every step boundary, so any
-  // excess residual is silent corruption.
+  // Recompute all four accumulators from the payload (AbftLu's
+  // checksum_residual over the arena): the invariants hold at every step
+  // boundary, so any excess residual is silent corruption. The sweep is
+  // O(n²·group) and sits on the recovery critical path (every detection and
+  // every post-reconstruction re-verify), so it runs on parallel_for with
+  // one checksum row per index — each worker writes only its own partial
+  // slot and the max-fold below runs serially in index order, making the
+  // result bitwise-identical for every worker count.
   const abft::ConstMatrixView a(shared_.matrix, layout_.n, layout_.n,
                                 layout_.n);
   const abft::ConstMatrixView active(shared_.active, layout_.csr, layout_.n,
                                      layout_.n);
   const abft::ConstMatrixView frozen(shared_.frozen, layout_.csr, layout_.n,
                                      layout_.n);
-  double worst = 0.0;
-  for (std::size_t g = 0; g < layout_.groups; ++g) {
-    for (std::size_t r = 0; r < layout_.nb; ++r) {
-      for (std::size_t j = 0; j < layout_.n; ++j) {
-        double expect_active = 0.0, expect_frozen = 0.0;
-        for (std::size_t m = 0; m < layout_.group; ++m) {
-          const std::size_t bi = g * layout_.group + m;
-          const double v = a(bi * layout_.nb + r, j);
-          (bi < frozen_steps_ ? expect_frozen : expect_active) += v;
+  const abft::ConstMatrixView wactive(shared_.wactive, layout_.csr, layout_.n,
+                                      layout_.n);
+  const abft::ConstMatrixView wfrozen(shared_.wfrozen, layout_.csr, layout_.n,
+                                      layout_.n);
+  std::vector<double> partial(layout_.csr, 0.0);
+  // Tiny test shapes stay inline: below ~16k residual columns the dispatch
+  // overhead would dominate the sweep itself.
+  const unsigned threads =
+      layout_.csr * layout_.n >= 16'384 ? verify_threads_ : 1;
+  common::parallel_for(
+      layout_.csr,
+      [&](std::size_t row) {
+        const std::size_t g = row / layout_.nb;
+        const std::size_t r = row % layout_.nb;
+        double worst = 0.0;
+        for (std::size_t j = 0; j < layout_.n; ++j) {
+          double ea = 0.0, ef = 0.0, wa = 0.0, wf = 0.0;
+          for (std::size_t m = 0; m < layout_.group; ++m) {
+            const std::size_t bi = g * layout_.group + m;
+            const double v = a(bi * layout_.nb + r, j);
+            const double w = static_cast<double>(m + 1);
+            if (bi < frozen_steps_) {
+              ef += v;
+              wf += w * v;
+            } else {
+              ea += v;
+              wa += w * v;
+            }
+          }
+          worst = std::max(worst, std::abs(ea - active(row, j)));
+          worst = std::max(worst, std::abs(ef - frozen(row, j)));
+          worst = std::max(worst, std::abs(wa - wactive(row, j)));
+          worst = std::max(worst, std::abs(wf - wfrozen(row, j)));
         }
-        const std::size_t row = g * layout_.nb + r;
-        worst = std::max(worst, std::abs(expect_active - active(row, j)));
-        worst = std::max(worst, std::abs(expect_frozen - frozen(row, j)));
-      }
-    }
-  }
+        partial[row] = worst;
+      },
+      threads);
+  double worst = 0.0;
+  for (const double p : partial) worst = std::max(worst, p);
   return worst;
 }
 
-void Launcher::inject_flip(const Injection& inj, std::uint64_t seed,
-                           RunReport& report) {
-  abft::MatrixView a = shared_.a();
-  common::Rng rng(seed);
-
-  // Victim site: an owned column block of the victim rank, any block row,
-  // preferring an element large enough that one exponent-bit flip moves the
-  // residual far above the clean-run noise floor.
-  std::vector<std::size_t> owned;
-  for (std::size_t j = inj.rank; j < nbk_; j += cfg_.ranks) owned.push_back(j);
-  ABFTC_CHECK(!owned.empty(), "victim rank owns no columns");
-  std::size_t bi = 0, bj = 0, er = 0, ec = 0;
-  double value = 0.0;
-  for (int probe = 0; probe < 1000; ++probe) {
-    bj = owned[rng.below(owned.size())];
-    bi = rng.below(nbk_);
-    er = rng.below(cfg_.nb);
-    ec = rng.below(cfg_.nb);
-    value = a(bi * cfg_.nb + er, bj * cfg_.nb + ec);
-    if (std::abs(value) > 1e-3) break;
+Localization locate_corruption(abft::ConstMatrixView a,
+                               abft::ConstMatrixView active,
+                               abft::ConstMatrixView frozen,
+                               abft::ConstMatrixView wactive,
+                               abft::ConstMatrixView wfrozen, std::size_t nb,
+                               std::size_t group, std::size_t frozen_steps) {
+  Localization loc;
+  const std::size_t n = a.cols();
+  const std::size_t groups = (a.rows() / nb) / group;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t r = 0; r < nb; ++r) {
+      const std::size_t row = g * nb + r;
+      for (std::size_t j = 0; j < n; ++j) {
+        double ea = 0.0, ef = 0.0, wa = 0.0, wf = 0.0;
+        for (std::size_t m = 0; m < group; ++m) {
+          const std::size_t bi = g * group + m;
+          const double v = a(bi * nb + r, j);
+          const double w = static_cast<double>(m + 1);
+          if (bi < frozen_steps) {
+            ef += v;
+            wf += w * v;
+          } else {
+            ea += v;
+            wa += w * v;
+          }
+        }
+        // A single corrupted element with delta d at group position m
+        // leaves r1 = d in the sum relation and r2 = (m+1)·d in the
+        // weighted one for its class; r2/r1 names the victim exactly.
+        const double res1[2] = {ea - active(row, j), ef - frozen(row, j)};
+        const double res2[2] = {wa - wactive(row, j), wf - wfrozen(row, j)};
+        for (int cls = 0; cls < 2; ++cls) {
+          const double r1 = res1[cls], r2 = res2[cls];
+          if (std::abs(r1) <= kDetectFloor &&
+              std::abs(r2) <= kDetectFloor * static_cast<double>(group + 1))
+            continue;  // clean slot (weighted noise scales with the weights)
+          if (std::abs(r1) <= kDetectFloor) {
+            // Weighted-only residual: cancelling deltas or a corrupted
+            // accumulator — no single site explains it.
+            loc.ambiguous = true;
+            continue;
+          }
+          const double ratio = r2 / r1;
+          const double nearest = std::round(ratio);
+          if (nearest < 1.0 || nearest > static_cast<double>(group) ||
+              std::abs(ratio - nearest) > 0.05) {
+            loc.ambiguous = true;  // not a single-element signature
+            continue;
+          }
+          const std::size_t bi =
+              g * group + static_cast<std::size_t>(nearest) - 1;
+          if ((bi < frozen_steps) != (cls == 1)) {
+            loc.ambiguous = true;  // named row lives in the other class
+            continue;
+          }
+          loc.sites.push_back(FaultSite{bi, j / nb, bi * nb + r, j});
+        }
+      }
+    }
   }
-  ABFTC_CHECK(value != 0.0, "could not find a nonzero element to corrupt");
+  return loc;
+}
 
-  // Flip one exponent bit (52–62 of the IEEE-754 representation): the
-  // element changes by at least a factor of 2, the way a DRAM upset in the
-  // high bits would corrupt it.
-  std::uint64_t bits = 0;
-  double& victim = a(bi * cfg_.nb + er, bj * cfg_.nb + ec);
-  std::memcpy(&bits, &victim, sizeof(bits));
-  bits ^= std::uint64_t{1} << (52 + rng.below(11));
-  std::memcpy(&victim, &bits, sizeof(bits));
+Localization Launcher::locate_fault() const {
+  return locate_corruption(
+      abft::ConstMatrixView(shared_.matrix, layout_.n, layout_.n, layout_.n),
+      abft::ConstMatrixView(shared_.active, layout_.csr, layout_.n, layout_.n),
+      abft::ConstMatrixView(shared_.frozen, layout_.csr, layout_.n, layout_.n),
+      abft::ConstMatrixView(shared_.wactive, layout_.csr, layout_.n,
+                            layout_.n),
+      abft::ConstMatrixView(shared_.wfrozen, layout_.csr, layout_.n,
+                            layout_.n),
+      cfg_.nb, cfg_.group, frozen_steps_);
+}
 
-  // Detection: the checksum invariant no longer holds.
-  auto t0 = Clock::now();
-  const double res = residual_now();
-  report.check_seconds += seconds_since(t0);
-  ABFTC_CHECK(res > 1e-8, "injected bit flip was not detected");
-
-  // Localization uses the campaign's ground truth (bi, bj) — standing in
-  // for a Huang–Abraham weighted-checksum locate (ROADMAP follow-up) —
-  // then reconstruction is the real dual-accumulator algebra: wipe the
-  // block, start from the matching accumulator, subtract the surviving
-  // group members in the same frozen/active class.
-  t0 = Clock::now();
+void Launcher::reconstruct_block(const FaultSite& site) {
+  // Dual-accumulator reconstruction at derived coordinates: wipe the block,
+  // start from the matching accumulator, subtract the surviving group
+  // members in the same frozen/active class.
+  abft::MatrixView a = shared_.a();
+  const std::size_t bi = site.block_row, bj = site.block_col;
   const bool frozen = bi < frozen_steps_;
   const abft::ConstMatrixView cs =
       frozen ? abft::ConstMatrixView(shared_.frozen, layout_.csr, layout_.n,
                                      layout_.n)
              : abft::ConstMatrixView(shared_.active, layout_.csr, layout_.n,
                                      layout_.n);
-  abft::MatrixView lost =
-      a.block(bi * cfg_.nb, bj * cfg_.nb, cfg_.nb, cfg_.nb);
-  abft::fill(lost, std::numeric_limits<double>::quiet_NaN());
+  abft::MatrixView lost = a.block(bi * cfg_.nb, bj * cfg_.nb, cfg_.nb, cfg_.nb);
   const std::size_t g = bi / cfg_.group;
   for (std::size_t r = 0; r < cfg_.nb; ++r)
     for (std::size_t c = 0; c < cfg_.nb; ++c)
@@ -333,14 +440,125 @@ void Launcher::inject_flip(const Injection& inj, std::uint64_t seed,
     if ((mi < frozen_steps_) != frozen) continue;
     const abft::ConstMatrixView other =
         a.block(mi * cfg_.nb, bj * cfg_.nb, cfg_.nb, cfg_.nb);
-    if (abft::has_nan(other))
-      throw abft::unrecoverable_error(
-          "two lost blocks share a checksum group");
     for (std::size_t r = 0; r < cfg_.nb; ++r)
       for (std::size_t c = 0; c < cfg_.nb; ++c) lost(r, c) -= other(r, c);
   }
-  report.recons_seconds += seconds_since(t0);
-  ++report.reconstructions;
+}
+
+std::size_t Launcher::recover_from_corruption(std::size_t step,
+                                              RunReport& report) {
+  // Rung 1: localize from the weighted/unweighted residual ratio.
+  auto t0 = Clock::now();
+  const Localization loc = locate_fault();
+  report.locate_seconds += seconds_since(t0);
+  ++report.locates;
+  for (const FaultSite& s : loc.sites) report.located.push_back(s);
+
+  // Rung 2: clean localization with all damage inside one block →
+  // dual-accumulator reconstruction, then re-verify (a wrong or partial
+  // repair must not survive into the next step).
+  bool one_block = !loc.ambiguous && !loc.sites.empty();
+  for (const FaultSite& s : loc.sites)
+    one_block = one_block && s.block_row == loc.sites.front().block_row &&
+                s.block_col == loc.sites.front().block_col;
+  if (one_block) {
+    t0 = Clock::now();
+    reconstruct_block(loc.sites.front());
+    report.recons_seconds += seconds_since(t0);
+    ++report.reconstructions;
+    t0 = Clock::now();
+    const double res = residual_now();
+    report.check_seconds += seconds_since(t0);
+    if (res <= kDetectFloor) return step + 1;
+  }
+
+  // Rung 3+: reconstruction cannot explain (or did not repair) the damage —
+  // escalate to the checkpoint ladder. restore_and_respawn itself walks
+  // latest_restorable past torn snapshots and bottoms out at the in-memory
+  // initial image, so every deeper rung is already inside it.
+  ++report.escalations;
+  return restore_and_respawn(report);
+}
+
+void Launcher::inject_flip(const Injection& inj, std::uint64_t seed,
+                           RunReport& report) {
+  // Injection ONLY: sites go into report.injected for post-hoc campaign
+  // comparison, never into a recovery decision — detection happens at the
+  // step-boundary verification and localization is derived from the
+  // weighted residuals.
+  abft::MatrixView a = shared_.a();
+  common::Rng rng(seed);
+
+  std::vector<std::size_t> owned;
+  for (std::size_t j = inj.rank; j < nbk_; j += cfg_.ranks) owned.push_back(j);
+  ABFTC_CHECK(!owned.empty(), "victim rank owns no columns");
+
+  // Deterministic-retry site selection: flip one exponent bit (52–62 of the
+  // IEEE-754 representation — at least a factor-of-2 change, the way a DRAM
+  // upset in the high bits corrupts) and accept the site only if the
+  // realized |Δ| provably clears the detection floor and the result stays
+  // finite (an Inf would break the ratio algebra instead of testing it).
+  // Rejected probes re-roll everything, so the choice stays a deterministic
+  // function of the seed.
+  const auto flip_element = [&](std::size_t fbi, std::size_t fbj,
+                                bool any_block,
+                                const FaultSite* avoid) -> FaultSite {
+    for (int probe = 0; probe < 100'000; ++probe) {
+      const std::size_t bj = any_block ? owned[rng.below(owned.size())] : fbj;
+      const std::size_t bi = any_block ? rng.below(nbk_) : fbi;
+      const std::size_t er = rng.below(cfg_.nb);
+      const std::size_t ec = rng.below(cfg_.nb);
+      const std::size_t bit = 52 + rng.below(11);
+      const std::size_t row = bi * cfg_.nb + er, col = bj * cfg_.nb + ec;
+      if (avoid != nullptr && avoid->row == row && avoid->col == col)
+        continue;  // flip2 needs two distinct (er, ec) slots
+      double& victim = a(row, col);
+      const double value = victim;
+      if (!std::isfinite(value) || value == 0.0) continue;
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &value, sizeof(bits));
+      bits ^= std::uint64_t{1} << bit;
+      double flipped = 0.0;
+      std::memcpy(&flipped, &bits, sizeof(bits));
+      if (!std::isfinite(flipped) || std::abs(flipped) > kFlipMagnitudeCap ||
+          std::abs(flipped - value) < kFlipMargin)
+        continue;
+      victim = flipped;
+      return FaultSite{bi, bj, row, col};
+    }
+    ABFTC_CHECK(false, "no element in the victim blocks cleared the "
+                       "detection floor after a bit flip");
+    return {};
+  };
+
+  if (inj.kind == FaultKind::Flip2) {
+    // Two flips in one checksum group, one block column, same frozen/active
+    // class, distinct element slots: the located sites land in two distinct
+    // block rows, so single-block reconstruction provably cannot repair the
+    // damage — the recovery ladder MUST escalate to a restore.
+    const std::size_t bj = owned[rng.below(owned.size())];
+    const std::size_t g = rng.below(layout_.groups);
+    std::vector<std::size_t> frozen_rows, active_rows;
+    for (std::size_t m = 0; m < cfg_.group; ++m) {
+      const std::size_t bi = g * cfg_.group + m;
+      (bi < frozen_steps_ ? frozen_rows : active_rows).push_back(bi);
+    }
+    // The larger class always has ≥ 2 members for group ≥ 3 (ties, only
+    // possible for even groups, go to active).
+    std::vector<std::size_t>& rows =
+        frozen_rows.size() > active_rows.size() ? frozen_rows : active_rows;
+    ABFTC_CHECK(rows.size() >= 2,
+                "flip2 needs two same-class rows in one checksum group");
+    const std::size_t i1 = rng.below(rows.size());
+    std::size_t i2 = rng.below(rows.size());
+    while (i2 == i1) i2 = rng.below(rows.size());
+    const FaultSite s1 = flip_element(rows[i1], bj, false, nullptr);
+    const FaultSite s2 = flip_element(rows[i2], bj, false, &s1);
+    report.injected.push_back(s1);
+    report.injected.push_back(s2);
+  } else {
+    report.injected.push_back(flip_element(0, 0, true, nullptr));
+  }
 }
 
 RunReport Launcher::run(const std::vector<Injection>& faults) {
@@ -377,7 +595,11 @@ RunReport Launcher::run(const std::vector<Injection>& faults) {
       abft::row_group_checksums(a0, cfg_.nb, cfg_.group);
   std::memcpy(shared_.active, cs0.storage().data(),
               cs0.storage().size() * sizeof(double));
-  // frozen starts zero (arena is zero-filled)
+  const abft::Matrix wcs0 =
+      abft::row_group_weighted_checksums(a0, cfg_.nb, cfg_.group);
+  std::memcpy(shared_.wactive, wcs0.storage().data(),
+              wcs0.storage().size() * sizeof(double));
+  // both frozen accumulators start zero (arena is zero-filled)
   frozen_steps_ = 0;
   initial_ = make_blob(0);
 
@@ -403,7 +625,13 @@ RunReport Launcher::run(const std::vector<Injection>& faults) {
     const std::size_t owner = owner_of(k, cfg_.ranks);
 
     post(shared_.cmd[owner], MsgType::Panel, k);
-    if (inj != nullptr && inj->kind != FaultKind::Flip) {
+    if (inj != nullptr && inj->kind == FaultKind::Hang) {
+      // Hang/livelock: the victim stays alive but stops making progress
+      // mid-step. waitpid(WNOHANG) never reaps it — only the response
+      // deadline can tell, which is exactly what this cell exercises.
+      ::kill(ranks_[inj->rank].pid, SIGSTOP);
+    } else if (inj != nullptr && inj->kind != FaultKind::Flip &&
+               inj->kind != FaultKind::Flip2) {
       // Kill / torn: SIGKILL the victim mid-step, right after the step's
       // first command went out. (For torn the covering checkpoint write was
       // already torn by the storage decorator.)
@@ -429,11 +657,29 @@ RunReport Launcher::run(const std::vector<Injection>& faults) {
     if (report.step_seconds.size() == k)  // first execution, not a replay
       report.step_seconds.push_back(seconds_since(t0));
 
-    if (inj != nullptr && inj->kind == FaultKind::Flip) {
+    if (inj != nullptr &&
+        (inj->kind == FaultKind::Flip || inj->kind == FaultKind::Flip2)) {
       const std::uint64_t base =
           cfg_.flip_seed != 0 ? cfg_.flip_seed : cfg_.seed;
       std::uint64_t mix = base + 0x9e3779b97f4a7c15ULL * (inj->step + 1);
       inject_flip(*inj, common::splitmix64(mix), report);
+    }
+
+    // Verification: a blind run checks the checksum invariant at EVERY
+    // boundary — the coordinator knows nothing about injection timing; the
+    // legacy mode checks only right after its own injector fired. Either
+    // way a residual above the floor enters the escalation ladder, which
+    // decides everything from derived localization alone.
+    if (cfg_.blind ||
+        (inj != nullptr &&
+         (inj->kind == FaultKind::Flip || inj->kind == FaultKind::Flip2))) {
+      const auto tc = Clock::now();
+      const double res = residual_now();
+      report.check_seconds += seconds_since(tc);
+      if (res > kDetectFloor) {
+        k = recover_from_corruption(k, report);
+        continue;
+      }
     }
     ++k;
   }
@@ -449,6 +695,12 @@ RunReport Launcher::run(const std::vector<Injection>& faults) {
   frozen_ = abft::Matrix(layout_.csr, layout_.n);
   std::memcpy(frozen_.storage().data(), shared_.frozen,
               frozen_.storage().size() * sizeof(double));
+  wactive_ = abft::Matrix(layout_.csr, layout_.n);
+  std::memcpy(wactive_.storage().data(), shared_.wactive,
+              wactive_.storage().size() * sizeof(double));
+  wfrozen_ = abft::Matrix(layout_.csr, layout_.n);
+  std::memcpy(wfrozen_.storage().data(), shared_.wfrozen,
+              wfrozen_.storage().size() * sizeof(double));
 
   for (std::size_t r = 0; r < cfg_.ranks; ++r) {
     if (ranks_[r].pid <= 0) continue;

@@ -16,18 +16,35 @@
 ///     handling at all. If storage holds nothing restorable the run falls
 ///     back to its in-memory initial image (restart from step 0).
 ///
-///   silent data corruption (flip) → the checksum-invariant residual
-///     detects it at the step boundary; the poisoned block is wiped and
-///     reconstructed from the matching accumulator by subtracting the
-///     surviving group members (the dual-accumulator scheme of AbftLu).
-///     Victim-block localization uses the campaign's ground truth — a
-///     stand-in for Huang–Abraham weighted checksums, which would locate
-///     the block from a second weighted accumulator (see ROADMAP).
+///   silent data corruption (flip/flip2) → the checksum-invariant residual
+///     detects it at a step boundary; the poisoned element is then
+///     *localized blind* from the ratio of the weighted and unweighted
+///     residual columns (Huang–Abraham: for a single corrupted element the
+///     weighted residual is (m+1)× the unweighted one, m = the victim's
+///     position inside its checksum group), and recovery climbs an
+///     escalating ladder —
+///       rung 1  locate_fault(): derive (block-row, block-col, element)
+///               from the two residuals; no ground truth is consulted.
+///       rung 2  single-block damage, clean localization → wipe + rebuild
+///               the block from the matching accumulator, re-verify.
+///       rung 3  ambiguous / multi-block / residual persists → restore the
+///               newest restorable checkpoint and replay (latest_restorable
+///               walks past torn snapshots; the in-memory initial image is
+///               the final fallback).
+///     Every rung is timed separately in RunReport so measured-vs-model
+///     attributes cost to the rung actually taken.
+///
+///   hang/livelock (hang) → SIGSTOP leaves the victim alive but silent;
+///     waitpid(WNOHANG) never reaps it, so only the response deadline
+///     fires: the coordinator counts a hang, SIGKILLs the stopped process
+///     (which works on stopped processes), and recovers via the death path.
 ///
 /// Death detection is a poll loop: each response-wait probe checks the
-/// worker's mailbox, then waitpid(WNOHANG), then sleeps ~50 µs — a corpse
-/// is noticed within a fraction of a block step. The ready pipe written at
-/// spawn doubles as a liveness handle (POLLHUP on death).
+/// worker's mailbox, then waitpid(WNOHANG), then naps with capped
+/// exponential backoff (50 µs → 1 ms) — a corpse is noticed within a
+/// fraction of a block step while hang cells sitting out their deadline
+/// don't burn a core. The ready pipe written at spawn doubles as a
+/// liveness handle (POLLHUP on death).
 
 #include <cstdint>
 #include <limits>
@@ -52,18 +69,65 @@ struct DistConfig {
   /// cell_seed(root, index) so every cell flips a distinct, replayable site
   /// while all cells factor the same matrix.
   std::uint64_t flip_seed = 0;
-  double step_timeout_s = 30.0;  ///< a rank silent this long is dead
+  double step_timeout_s = 30.0;  ///< a rank silent this long is dead/hung
+  /// Blind verification: check the checksum invariant at EVERY step
+  /// boundary — the coordinator gets no out-of-band knowledge of when (or
+  /// whether) a fault was injected. false keeps the legacy mode that checks
+  /// only right after the launcher's own injector fired; localization is
+  /// derived from the weighted residuals either way.
+  bool blind = false;
+  /// Worker threads for the residual sweeps (0 = small hardware-derived
+  /// default). The sweep uses fixed per-row output slots + a serial
+  /// max-fold, so the result is bitwise-identical for every thread count.
+  unsigned verify_threads = 0;
 };
 
 /// One injection for a run. Kill and Torn both SIGKILL the victim right
 /// after the step's panel command is posted (for Torn the storage decorator
-/// has already torn the covering checkpoint); Flip corrupts one element
-/// after the step completes.
+/// has already torn the covering checkpoint); Hang SIGSTOPs it there
+/// instead; Flip corrupts one element after the step completes, Flip2
+/// corrupts two elements of one checksum group (same class, same block
+/// column — single-block reconstruction provably cannot repair it).
 struct Injection {
   FaultKind kind = FaultKind::Kill;
   std::size_t step = 0;
   std::size_t rank = 0;
 };
+
+/// One corrupted element, as coordinates. Produced by the injector (ground
+/// truth, recorded for post-hoc comparison only) and by locate_fault()
+/// (derived); a campaign cell is trustworthy when the two agree.
+struct FaultSite {
+  std::size_t block_row = 0;  ///< bi
+  std::size_t block_col = 0;  ///< bj
+  std::size_t row = 0;        ///< element row (bi·nb + r)
+  std::size_t col = 0;        ///< element column
+};
+[[nodiscard]] constexpr bool operator==(const FaultSite& a,
+                                        const FaultSite& b) noexcept {
+  return a.block_row == b.block_row && a.block_col == b.block_col &&
+         a.row == b.row && a.col == b.col;
+}
+
+/// What the weighted/unweighted residual ratio says about the damage.
+struct Localization {
+  /// Some residual column did not resolve to a single in-range group
+  /// position (non-integral ratio, weighted-only residual, class mismatch)
+  /// — no single-site explanation exists; recovery must escalate.
+  bool ambiguous = false;
+  std::vector<FaultSite> sites;  ///< distinct corrupted elements, derived
+};
+
+/// Huang–Abraham localization over an arbitrary state snapshot: recompute
+/// all four accumulators from the payload and resolve every residual column
+/// to a (block-row, block-col, element) site via the weighted/unweighted
+/// ratio. Free function so unit tests and the campaign calibrator can run
+/// it on hand-built state; `Launcher` wraps it over the live arena.
+[[nodiscard]] Localization locate_corruption(
+    abft::ConstMatrixView a, abft::ConstMatrixView active,
+    abft::ConstMatrixView frozen, abft::ConstMatrixView wactive,
+    abft::ConstMatrixView wfrozen, std::size_t nb, std::size_t group,
+    std::size_t frozen_steps);
 
 /// What one run did and what it cost.
 struct RunReport {
@@ -77,10 +141,22 @@ struct RunReport {
   std::size_t restores = 0;         ///< snapshot restores performed
   std::size_t respawns = 0;         ///< dead ranks re-forked
   std::size_t reconstructions = 0;  ///< checksum block reconstructions
+  std::size_t locates = 0;          ///< localization passes run
+  /// Corruption recoveries that climbed past reconstruction to a restore
+  /// (ambiguous/multi-block localization, or the residual persisted).
+  std::size_t escalations = 0;
+  std::size_t hangs = 0;  ///< live-but-silent ranks killed at the deadline
   std::vector<std::size_t> restored_to_steps;  ///< resume step per restore
-  double restore_seconds = 0.0;  ///< read + verify + copy-in, summed
-  double check_seconds = 0.0;    ///< residual verification, summed
-  double recons_seconds = 0.0;   ///< checksum reconstruction, summed
+  double restore_seconds = 0.0;    ///< read + verify + copy-in, summed
+  double check_seconds = 0.0;      ///< residual verification, summed
+  double recons_seconds = 0.0;     ///< checksum reconstruction, summed
+  double locate_seconds = 0.0;     ///< residual-ratio localization, summed
+  double hang_wait_seconds = 0.0;  ///< deadline waits on silent ranks
+  /// Injector ground truth vs localization-derived coordinates. `injected`
+  /// is recorded purely for post-hoc comparison in campaign records — it
+  /// never feeds a recovery decision.
+  std::vector<FaultSite> injected;
+  std::vector<FaultSite> located;
   /// Checksum-invariant residual of the final state.
   double residual = std::numeric_limits<double>::quiet_NaN();
 };
@@ -109,6 +185,12 @@ class Launcher {
   [[nodiscard]] const abft::Matrix& frozen_cs() const noexcept {
     return frozen_;
   }
+  [[nodiscard]] const abft::Matrix& weighted_active_cs() const noexcept {
+    return wactive_;
+  }
+  [[nodiscard]] const abft::Matrix& weighted_frozen_cs() const noexcept {
+    return wfrozen_;
+  }
 
  private:
   struct Rank;  // pid + ready fd + mailbox cursors
@@ -121,6 +203,12 @@ class Launcher {
   [[nodiscard]] std::size_t restore_and_respawn(RunReport& report);
   void inject_flip(const Injection& inj, std::uint64_t seed,
                    RunReport& report);
+  [[nodiscard]] Localization locate_fault() const;
+  void reconstruct_block(const FaultSite& site);
+  /// The escalation ladder for a detected corruption at step `step`;
+  /// returns the step to resume from.
+  [[nodiscard]] std::size_t recover_from_corruption(std::size_t step,
+                                                    RunReport& report);
   [[nodiscard]] double residual_now() const;
   [[nodiscard]] ckpt::io::SnapshotBlob make_blob(std::size_t step) const;
   void load_blob(const ckpt::io::SnapshotBlob& blob);
@@ -137,8 +225,9 @@ class Launcher {
   /// none): replay after a restore must not re-write an existing snapshot.
   std::size_t max_boundary_attempted_ = std::numeric_limits<std::size_t>::max();
   std::size_t frozen_steps_ = 0;  ///< block rows frozen in the arena state
+  unsigned verify_threads_ = 1;   ///< resolved from cfg_.verify_threads
   bool ran_ = false;
-  abft::Matrix lu_, active_, frozen_;
+  abft::Matrix lu_, active_, frozen_, wactive_, wfrozen_;
 };
 
 }  // namespace abftc::dist

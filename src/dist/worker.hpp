@@ -11,6 +11,14 @@
 ///               active accumulator (column block k), factor the diagonal
 ///               block, apply U_kk^{-1} to the L block column and to the
 ///               active accumulator's column block k.
+///
+/// Both phases maintain TWO accumulator pairs: the plain sums and their
+/// position-weighted twins (weight = 1-based position of the block row
+/// inside its checksum group — the Huang–Abraham localization relation).
+/// Every step operation is linear in rows, so applying the identical
+/// transformation keeps both invariants exact at step boundaries; the
+/// coordinator localizes a corrupted element from the ratio of the two
+/// residuals without being told where the fault landed.
 ///   Update(k) — every rank, over each owned block column j: j == k just
 ///               freezes (its panel values are final); j != k pre-subtracts
 ///               the pivot row, and for j > k applies L_kk^{-1} to the U
@@ -38,7 +46,7 @@
 
 namespace abftc::dist {
 
-inline constexpr std::uint64_t kArenaMagic = 0xABF7'D157'0000'0001ULL;
+inline constexpr std::uint64_t kArenaMagic = 0xABF7'D157'0000'0002ULL;
 
 /// Byte offsets of everything in the shared arena, derived from the
 /// problem shape. Both sides compute it; the control block holds the shape
@@ -54,9 +62,11 @@ struct DistLayout {
 
   std::size_t cmd_off = 0;     ///< nranks coordinator→worker mailboxes
   std::size_t rsp_off = 0;     ///< nranks worker→coordinator mailboxes
-  std::size_t matrix_off = 0;  ///< n × n doubles
-  std::size_t active_off = 0;  ///< csr × n doubles
-  std::size_t frozen_off = 0;  ///< csr × n doubles
+  std::size_t matrix_off = 0;   ///< n × n doubles
+  std::size_t active_off = 0;   ///< csr × n doubles
+  std::size_t frozen_off = 0;   ///< csr × n doubles
+  std::size_t wactive_off = 0;  ///< position-weighted twin of active
+  std::size_t wfrozen_off = 0;  ///< position-weighted twin of frozen
   std::size_t total_bytes = 0;
 
   [[nodiscard]] static DistLayout compute(std::size_t n, std::size_t nb,
@@ -79,6 +89,8 @@ struct SharedState {
   double* matrix = nullptr;
   double* active = nullptr;
   double* frozen = nullptr;
+  double* wactive = nullptr;
+  double* wfrozen = nullptr;
   DistLayout layout;
 
   [[nodiscard]] static SharedState attach(void* base, const DistLayout& lay);
@@ -91,6 +103,12 @@ struct SharedState {
   }
   [[nodiscard]] abft::MatrixView frozen_cs() const {
     return abft::MatrixView(frozen, layout.csr, layout.n, layout.n);
+  }
+  [[nodiscard]] abft::MatrixView wactive_cs() const {
+    return abft::MatrixView(wactive, layout.csr, layout.n, layout.n);
+  }
+  [[nodiscard]] abft::MatrixView wfrozen_cs() const {
+    return abft::MatrixView(wfrozen, layout.csr, layout.n, layout.n);
   }
 };
 

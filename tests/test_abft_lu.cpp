@@ -46,6 +46,21 @@ TEST(AbftLu, ChecksumInvariantHoldsAfterFactorization) {
   EXPECT_LT(lu.checksum_residual(), 1e-6);
 }
 
+TEST(AbftLu, WeightedAccumulatorsTrackTheFactorization) {
+  const std::size_t n = 80, nb = 8, prows = 2;
+  AbftLu lu(test_matrix(n), nb, ProcessGrid{prows, 2});
+  lu.factor();
+  // checksum_residual() already gates all four relations; additionally pin
+  // the weighted pair's endpoint state: with everything frozen, the frozen
+  // accumulator equals the position-weighted checksums recomputed from the
+  // final factors (same addition order → bitwise), and the active one has
+  // been drained to rounding noise.
+  const Matrix expect =
+      abft::row_group_weighted_checksums(lu.lu(), nb, prows);
+  EXPECT_EQ(abft::max_abs_diff(lu.weighted_frozen_cs(), expect), 0.0);
+  EXPECT_LT(lu.weighted_active_cs().max_abs(), 1e-6);
+}
+
 TEST(AbftLu, SolvesLinearSystems) {
   const std::size_t n = 64;
   const Matrix a = test_matrix(n);

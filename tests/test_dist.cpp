@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "abft/abft_lu.hpp"
@@ -70,6 +72,28 @@ TEST(Mailbox, BlockingRecvTimesOut) {
   reset(mb);
   std::uint64_t last_seen = 0;
   EXPECT_FALSE(recv(mb, last_seen, 0.01).has_value());
+}
+
+TEST(Mailbox, DelayedPostIsReceivedWellBeforeDeadline) {
+  Mailbox mb;
+  reset(mb);
+  std::uint64_t last_seen = 0;
+  std::thread poster([&mb] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    post(mb, MsgType::Done, 9);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto msg = recv(mb, last_seen, 5.0);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  poster.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::Done);
+  EXPECT_EQ(msg->args[0], 9u);
+  // The poll backoff caps at 1 ms, so a frame posted ~20 ms in is noticed
+  // within a few naps — nowhere near the 5 s deadline.
+  EXPECT_LT(waited, 1.0);
 }
 
 // --- campaign enumeration ---------------------------------------------------
@@ -131,6 +155,16 @@ TEST(CampaignSpec, EnumeratesRowMajorAndShardsPartition) {
   EXPECT_EQ(seen.size(), spec.cell_count());
 }
 
+TEST(CampaignSpec, ParsesHangAndFlip2AndRoundTrips) {
+  const auto spec = CampaignSpec::parse("steps:0-1,ranks:0,kinds:hang+flip2");
+  ASSERT_EQ(spec.kinds.size(), 2u);
+  EXPECT_EQ(spec.kinds[0], FaultKind::Hang);
+  EXPECT_EQ(spec.kinds[1], FaultKind::Flip2);
+  EXPECT_EQ(CampaignSpec::parse(spec.to_spec()).to_spec(), spec.to_spec());
+  EXPECT_EQ(to_string(FaultKind::Hang), "hang");
+  EXPECT_EQ(to_string(FaultKind::Flip2), "flip2");
+}
+
 TEST(CampaignSpec, CellSeedsAreDeterministicAndDistinct) {
   EXPECT_EQ(cell_seed(42, 7), cell_seed(42, 7));
   EXPECT_NE(cell_seed(42, 7), cell_seed(42, 8));
@@ -187,6 +221,83 @@ TEST(FaultingBackend, FailedCommitLeavesNoSnapshot) {
   // The backend keeps working for later, unfaulted writes.
   EXPECT_NO_THROW(faulting.write_snapshot(tiny_blob(2)));
   EXPECT_EQ(faulting.list().size(), 1u);
+}
+
+// --- blind localization -----------------------------------------------------
+
+// Hand-built states for locate_corruption: a random matrix with nothing
+// frozen, so the active pair is the row-group (weighted) checksums of A and
+// the frozen pair is all zeros.
+
+struct LocalizationFixture {
+  static constexpr std::size_t n = 48, nb = 8, group = 3;  // 6 block rows
+  abft::Matrix a, active, wactive, frozen, wfrozen;
+
+  LocalizationFixture() {
+    common::Rng rng(123);
+    a = abft::Matrix::diag_dominant(n, rng);
+    active = abft::row_group_checksums(a, nb, group);
+    wactive = abft::row_group_weighted_checksums(a, nb, group);
+    frozen = abft::Matrix::zeros(active.rows(), n);
+    wfrozen = abft::Matrix::zeros(active.rows(), n);
+  }
+
+  [[nodiscard]] Localization locate() const {
+    return locate_corruption(a.view(), active.view(), frozen.view(),
+                             wactive.view(), wfrozen.view(), nb, group, 0);
+  }
+};
+
+TEST(LocateCorruption, CleanStateNamesNothing) {
+  const LocalizationFixture fx;
+  const Localization loc = fx.locate();
+  EXPECT_FALSE(loc.ambiguous);
+  EXPECT_TRUE(loc.sites.empty());
+}
+
+TEST(LocateCorruption, NamesASingleCorruptedElementExactly) {
+  LocalizationFixture fx;
+  // Block row 4 is position 1 (0-based) of group 1, so the weighted
+  // residual is 2× the unweighted one in that column.
+  fx.a(4 * fx.nb + 3, 17) += 0.5;
+  const Localization loc = fx.locate();
+  EXPECT_FALSE(loc.ambiguous);
+  ASSERT_EQ(loc.sites.size(), 1u);
+  EXPECT_EQ(loc.sites[0], (FaultSite{4, 17 / fx.nb, 4 * fx.nb + 3, 17}));
+}
+
+TEST(LocateCorruption, TwoBlocksYieldTwoSitesForTheLadderToRefuse) {
+  LocalizationFixture fx;
+  // Damage in two different blocks: each residual column still resolves
+  // cleanly, but the ladder's one-block test must reject reconstruction.
+  fx.a(0 * fx.nb + 2, 5) += 0.25;
+  fx.a(4 * fx.nb + 6, 30) += 0.125;
+  const Localization loc = fx.locate();
+  EXPECT_FALSE(loc.ambiguous);
+  ASSERT_EQ(loc.sites.size(), 2u);
+  EXPECT_EQ(loc.sites[0], (FaultSite{0, 5 / fx.nb, 0 * fx.nb + 2, 5}));
+  EXPECT_EQ(loc.sites[1], (FaultSite{4, 30 / fx.nb, 4 * fx.nb + 6, 30}));
+}
+
+TEST(LocateCorruption, NonIntegralRatioIsAmbiguous) {
+  LocalizationFixture fx;
+  // Two deltas in one residual column (same group, same row offset, same
+  // column): r2/r1 = (1·0.5 + 3·0.3)/(0.5 + 0.3) = 1.75 — no single site.
+  fx.a(3 * fx.nb + 3, 17) += 0.5;
+  fx.a(5 * fx.nb + 3, 17) += 0.3;
+  const Localization loc = fx.locate();
+  EXPECT_TRUE(loc.ambiguous);
+  EXPECT_TRUE(loc.sites.empty());
+}
+
+TEST(LocateCorruption, CancellingDeltasLeaveWeightedOnlyResidual) {
+  LocalizationFixture fx;
+  // The sum relation cancels exactly; only the weighted one fires.
+  fx.a(3 * fx.nb + 1, 9) += 0.5;
+  fx.a(4 * fx.nb + 1, 9) -= 0.5;
+  const Localization loc = fx.locate();
+  EXPECT_TRUE(loc.ambiguous);
+  EXPECT_TRUE(loc.sites.empty());
 }
 
 // --- the forked runtime -----------------------------------------------------
@@ -286,6 +397,133 @@ TEST(DistLauncher, FlipRecoversByChecksumReconstruction) {
   EXPECT_LT(abft::relative_error(injected.lu(), clean.lu()), 1e-8);
 }
 
+TEST(DistLauncher, WeightedAccumulatorsMatchSerialReference) {
+  const DistConfig cfg = small_config();
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher launcher(cfg, *backend);
+  (void)launcher.run();
+
+  common::Rng rng(cfg.seed);
+  abft::AbftLu serial(abft::Matrix::diag_dominant(cfg.n, rng), cfg.nb,
+                      abft::ProcessGrid{cfg.group, 1});
+  serial.factor();
+
+  // The weighted pair rides through the identical per-element operations as
+  // the sum pair, so the dist copies track the serial reference to rounding
+  // (after the full factorization everything is frozen and the active
+  // accumulators hold only drained noise).
+  EXPECT_LT(abft::max_abs_diff(launcher.weighted_frozen_cs(),
+                               serial.weighted_frozen_cs()),
+            1e-8);
+  EXPECT_LT(abft::max_abs_diff(launcher.weighted_active_cs(),
+                               serial.weighted_active_cs()),
+            1e-8);
+}
+
+TEST(DistLauncher, WeightedAccumulatorsAreBitwiseAcrossRankCounts) {
+  const DistConfig cfg = small_config();
+  DistConfig cfg3 = cfg;
+  cfg3.ranks = 3;
+  const auto b1 = ckpt::io::make_backend("memory");
+  const auto b2 = ckpt::io::make_backend("memory");
+  Launcher two(cfg, *b1), three(cfg3, *b2);
+  (void)two.run();
+  (void)three.run();
+  // Column ownership moves work between ranks but never changes any
+  // per-element expression, so the factors AND both weighted accumulators
+  // are bitwise identical.
+  EXPECT_EQ(abft::max_abs_diff(two.lu(), three.lu()), 0.0);
+  EXPECT_EQ(abft::max_abs_diff(two.weighted_active_cs(),
+                               three.weighted_active_cs()),
+            0.0);
+  EXPECT_EQ(abft::max_abs_diff(two.weighted_frozen_cs(),
+                               three.weighted_frozen_cs()),
+            0.0);
+}
+
+TEST(DistLauncher, BlindFlipIsLocatedAndReconstructed) {
+  DistConfig cfg = small_config();
+  cfg.blind = true;  // verify at every boundary; no injection-timing hints
+  const auto clean_backend = ckpt::io::make_backend("memory");
+  Launcher clean(cfg, *clean_backend);
+  (void)clean.run();
+
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher injected(cfg, *backend);
+  const RunReport report = injected.run({{FaultKind::Flip, 2, 1}});
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.reconstructions, 1u);
+  EXPECT_EQ(report.restores, 0u);
+  EXPECT_EQ(report.escalations, 0u);
+  EXPECT_GE(report.locates, 1u);
+  EXPECT_GT(report.locate_seconds, 0.0);
+  EXPECT_GT(report.check_seconds, 0.0);
+  // Localization derived the injector's exact site from the residual ratio.
+  ASSERT_EQ(report.injected.size(), 1u);
+  ASSERT_EQ(report.located.size(), 1u);
+  EXPECT_EQ(report.located[0], report.injected[0]);
+  EXPECT_LT(report.residual, 1e-8);
+  EXPECT_LT(abft::relative_error(injected.lu(), clean.lu()), 1e-8);
+}
+
+TEST(DistLauncher, HangIsKilledAtTheDeadlineAndRecovered) {
+  DistConfig cfg = small_config();
+  cfg.step_timeout_s = 0.5;  // the hang deadline; a real step is ~ms
+  const auto clean_backend = ckpt::io::make_backend("memory");
+  Launcher clean(cfg, *clean_backend);
+  (void)clean.run();
+
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher injected(cfg, *backend);
+  const RunReport report = injected.run({{FaultKind::Hang, 3, 1}});
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.hangs, 1u);
+  EXPECT_GT(report.hang_wait_seconds, 0.2);
+  EXPECT_EQ(report.respawns, 1u);
+  EXPECT_EQ(report.restores, 1u);
+  EXPECT_EQ(report.reconstructions, 0u);
+  ASSERT_EQ(report.restored_to_steps.size(), 1u);
+  EXPECT_EQ(report.restored_to_steps[0], 2u);  // covering boundary of step 3
+  EXPECT_LT(report.residual, 1e-8);
+  // Post-SIGKILL recovery is the death path: deterministic bitwise replay.
+  EXPECT_EQ(abft::max_abs_diff(injected.lu(), clean.lu()), 0.0);
+}
+
+TEST(DistLauncher, Flip2EscalatesPastReconstruction) {
+  const DistConfig cfg = small_config();
+  const auto clean_backend = ckpt::io::make_backend("memory");
+  Launcher clean(cfg, *clean_backend);
+  (void)clean.run();
+
+  const auto backend = ckpt::io::make_backend("memory");
+  Launcher injected(cfg, *backend);
+  const RunReport report = injected.run({{FaultKind::Flip2, 2, 1}});
+
+  EXPECT_TRUE(report.completed);
+  // Two corrupted block rows in one group: localization names both sites,
+  // the one-block test fails, and the ladder MUST climb to a restore —
+  // single-block reconstruction provably cannot repair this.
+  EXPECT_EQ(report.reconstructions, 0u);
+  EXPECT_EQ(report.escalations, 1u);
+  EXPECT_EQ(report.restores, 1u);
+  EXPECT_EQ(report.respawns, 0u);  // nobody died; the arena was re-seeded
+  ASSERT_EQ(report.injected.size(), 2u);
+  EXPECT_NE(report.injected[0].block_row, report.injected[1].block_row);
+  EXPECT_EQ(report.injected[0].block_col, report.injected[1].block_col);
+  // Both sites were still localized exactly before the ladder escalated.
+  auto by_site = [](const FaultSite& a, const FaultSite& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  };
+  std::vector<FaultSite> want = report.injected, got = report.located;
+  std::sort(want.begin(), want.end(), by_site);
+  std::sort(got.begin(), got.end(), by_site);
+  EXPECT_EQ(got, want);
+  EXPECT_LT(report.residual, 1e-8);
+  EXPECT_EQ(abft::max_abs_diff(injected.lu(), clean.lu()), 0.0);
+}
+
 TEST(DistLauncher, TornCheckpointFallsBackToOlderSnapshot) {
   const DistConfig cfg = small_config();
   const auto clean_backend = ckpt::io::make_backend("memory");
@@ -333,6 +571,51 @@ TEST(DistCampaign, MiniCampaignRecoversEveryCell) {
   EXPECT_EQ(report.unrecovered, 0u);
   EXPECT_GT(report.calib.t_clean, 0.0);
   EXPECT_EQ(report.calib.step_seconds.size(), cfg.n / cfg.nb);
+}
+
+TEST(DistCampaign, BlindMiniCampaignLocalizesAndEscalatesEveryCell) {
+  DistConfig cfg = small_config();
+  cfg.n = 48;  // 3 block steps: 3 × 2 ranks × 3 kinds = 18 cells
+  const auto spec =
+      CampaignSpec::parse("steps:0-2,ranks:0-1,kinds:flip+hang+flip2");
+  CampaignOptions options;
+  options.blind = true;
+
+  const CampaignReport report = run_campaign(cfg, spec, options);
+  ASSERT_EQ(report.cells.size(), spec.cell_count());
+  EXPECT_EQ(report.unrecovered, 0u);
+  EXPECT_GT(report.calib.locate_s, 0.0);
+  EXPECT_GE(report.calib.hang_timeout_s, 0.25);
+
+  for (const CellOutcome& c : report.cells) {
+    EXPECT_TRUE(c.recovered) << "cell " << c.cell.index << " ("
+                             << to_string(c.cell.kind) << " step "
+                             << c.cell.step << " rank " << c.cell.rank << ")";
+    // No cell ever saw its injection coordinates; a derived localization
+    // that disagreed with the injector's ground truth would show up here.
+    EXPECT_TRUE(c.site_match) << "cell " << c.cell.index;
+    switch (c.cell.kind) {
+      case FaultKind::Flip:
+        EXPECT_EQ(c.reconstructions, 1u);
+        EXPECT_EQ(c.escalations, 0u);
+        EXPECT_GT(c.locate_seconds, 0.0);
+        EXPECT_EQ(c.injected.size(), 1u);
+        break;
+      case FaultKind::Flip2:
+        EXPECT_EQ(c.reconstructions, 0u);
+        EXPECT_EQ(c.escalations, 1u);
+        EXPECT_GE(c.restores, 1u);
+        EXPECT_EQ(c.injected.size(), 2u);
+        break;
+      case FaultKind::Hang:
+        EXPECT_EQ(c.hangs, 1u);
+        EXPECT_GT(c.hang_wait_seconds, 0.0);
+        EXPECT_GE(c.respawns, 1u);
+        break;
+      default:
+        FAIL() << "unexpected kind in this campaign";
+    }
+  }
 }
 
 TEST(DistCampaign, LogStorageRecoversEveryCellWithCompaction) {
